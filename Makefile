@@ -1,0 +1,27 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-quick examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/birdwatch.exe
+	dune exec examples/lab_monitoring.exe
+	dune exec examples/lossy_links.exe
+	dune exec examples/building_monitor.exe
+
+clean:
+	dune clean
