@@ -1,0 +1,1 @@
+examples/birdwatch.ml: Array Format Prospector Rng Sampling Sensor

@@ -1,0 +1,1 @@
+examples/building_monitor.ml: Array Float Format Prospector Rng Sampling Sensor

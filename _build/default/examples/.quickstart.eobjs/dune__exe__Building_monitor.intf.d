@@ -1,0 +1,1 @@
+examples/building_monitor.mli:

@@ -1,0 +1,1 @@
+examples/lab_monitoring.ml: Array Format List Prospector Rng Sampling Sensor

@@ -1,0 +1,1 @@
+examples/lossy_links.ml: Array Format List Prospector Rng Sampling Sensor

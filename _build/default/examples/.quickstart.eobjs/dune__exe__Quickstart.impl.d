@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Prospector Rng Sampling Sensor

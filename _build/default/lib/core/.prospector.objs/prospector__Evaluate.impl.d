@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: Array Exact Exec List Naive Oracle Plan Proof_exec

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Exec Hashtbl List Proof_exec Sensor

@@ -1,0 +1,1 @@
+lib/core/exec.ml: Array Hashtbl List Plan Sensor

@@ -1,0 +1,1 @@
+lib/core/exec.mli: Plan Sensor

@@ -1,0 +1,1 @@
+lib/core/lifetime.ml: Array Simnet_exec

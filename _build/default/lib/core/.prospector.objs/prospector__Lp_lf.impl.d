@@ -1,0 +1,1 @@
+lib/core/lp_lf.ml: Array Hashtbl Int List Lp Option Plan Printf Sampling Sensor

@@ -1,0 +1,1 @@
+lib/core/lp_lf.mli: Lp Plan Sampling Sensor

@@ -1,0 +1,1 @@
+lib/core/lp_no_lf.ml: Lp Plan Sampling Ship_lp

@@ -1,0 +1,1 @@
+lib/core/lp_no_lf.mli: Lp Plan Sampling Sensor

@@ -1,0 +1,1 @@
+lib/core/lp_proof.ml: Array Exec Float Hashtbl Int List Lp Option Plan Printf Sampling Sensor

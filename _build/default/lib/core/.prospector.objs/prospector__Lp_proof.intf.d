@@ -1,0 +1,1 @@
+lib/core/lp_proof.mli: Lp Plan Sampling Sensor

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Array Exec Int List Plan Sensor

@@ -1,0 +1,1 @@
+lib/core/proof_exec.ml: Array Exec Hashtbl List Plan Sensor

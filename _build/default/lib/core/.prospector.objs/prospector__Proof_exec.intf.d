@@ -1,0 +1,1 @@
+lib/core/proof_exec.mli: Plan Sensor

@@ -1,0 +1,1 @@
+lib/core/replan.ml: Array Exec Float Lp_lf Plan Sampling

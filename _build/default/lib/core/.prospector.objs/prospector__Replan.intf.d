@@ -1,0 +1,1 @@
+lib/core/replan.mli: Plan Sampling Sensor

@@ -1,0 +1,1 @@
+lib/core/ship_lp.ml: Array List Lp Option Printf Sensor

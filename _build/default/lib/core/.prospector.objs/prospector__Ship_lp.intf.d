@@ -1,0 +1,1 @@
+lib/core/ship_lp.mli: Lp Sensor

@@ -1,0 +1,1 @@
+lib/core/simnet_exec.ml: Array Exec List Plan Sensor Simnet

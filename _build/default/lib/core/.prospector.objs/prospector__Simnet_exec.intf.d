@@ -1,0 +1,1 @@
+lib/core/simnet_exec.mli: Plan Rng Sensor

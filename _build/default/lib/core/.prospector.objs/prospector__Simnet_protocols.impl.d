@@ -1,0 +1,1 @@
+lib/core/simnet_protocols.ml: Array Exec Hashtbl List Plan Sensor Simnet

@@ -1,0 +1,1 @@
+lib/core/simnet_protocols.mli: Plan Rng Sensor

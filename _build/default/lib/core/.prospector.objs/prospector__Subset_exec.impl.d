@@ -1,0 +1,1 @@
+lib/core/subset_exec.ml: Array Exec Float Hashtbl Int List Sensor

@@ -1,0 +1,1 @@
+lib/core/subset_planner.ml: Lp Plan Sampling Sensor Ship_lp

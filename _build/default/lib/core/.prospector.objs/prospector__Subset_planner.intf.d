@@ -1,0 +1,1 @@
+lib/core/subset_planner.mli: Lp Plan Sampling Sensor

@@ -1,0 +1,140 @@
+type point = {
+  accuracy : float;
+  collection_mj : float;
+  trigger_mj : float;
+  install_mj : float;
+  messages : float;
+}
+
+let total_per_run_mj p = p.collection_mj +. p.trigger_mj
+
+let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let check_epochs epochs =
+  if Array.length epochs = 0 then invalid_arg "Evaluate: no test epochs"
+
+let approx topo cost mica plan ~k ~epochs =
+  check_epochs epochs;
+  let outcomes =
+    Array.to_list
+      (Array.map (fun readings -> Exec.collect topo cost plan ~k ~readings) epochs)
+  in
+  let accuracies =
+    List.map2
+      (fun o readings -> Exec.accuracy ~k ~readings o.Exec.returned)
+      outcomes
+      (Array.to_list epochs)
+  in
+  {
+    accuracy = mean accuracies;
+    collection_mj = mean (List.map (fun o -> o.Exec.collection_mj) outcomes);
+    trigger_mj = Plan.trigger_mj topo mica plan;
+    install_mj = Plan.install_mj topo mica plan;
+    messages = mean (List.map (fun o -> float_of_int o.Exec.messages) outcomes);
+  }
+
+let naive_k topo cost mica ~k ~epochs =
+  check_epochs epochs;
+  let outcomes =
+    Array.to_list
+      (Array.map (fun readings -> Naive.naive_k topo cost ~k ~readings) epochs)
+  in
+  {
+    accuracy = 1.;
+    collection_mj = mean (List.map (fun o -> o.Naive.collection_mj) outcomes);
+    trigger_mj = Naive.flood_trigger_mj topo mica;
+    install_mj = 0.;
+    messages = mean (List.map (fun o -> float_of_int o.Naive.messages) outcomes);
+  }
+
+let naive_one topo cost ~k ~epochs =
+  check_epochs epochs;
+  let outcomes =
+    Array.to_list
+      (Array.map (fun readings -> Naive.naive_one topo cost ~k ~readings) epochs)
+  in
+  {
+    accuracy = 1.;
+    collection_mj = mean (List.map (fun o -> o.Naive.collection_mj) outcomes);
+    trigger_mj = 0.;
+    install_mj = 0.;
+    messages = mean (List.map (fun o -> float_of_int o.Naive.messages) outcomes);
+  }
+
+let oracle topo cost mica ~k ~epochs =
+  check_epochs epochs;
+  let outcomes =
+    Array.to_list
+      (Array.map (fun readings -> Oracle.oracle topo cost ~k ~readings) epochs)
+  in
+  let installs =
+    Array.to_list
+      (Array.map
+         (fun readings ->
+           Plan.install_mj topo mica (Oracle.oracle_plan topo ~k ~readings))
+         epochs)
+  in
+  let triggers =
+    Array.to_list
+      (Array.map
+         (fun readings ->
+           Plan.trigger_mj topo mica (Oracle.oracle_plan topo ~k ~readings))
+         epochs)
+  in
+  {
+    accuracy = 1.;
+    collection_mj = mean (List.map (fun o -> o.Exec.collection_mj) outcomes);
+    trigger_mj = mean triggers;
+    install_mj = mean installs;
+    messages = mean (List.map (fun o -> float_of_int o.Exec.messages) outcomes);
+  }
+
+let oracle_proof topo cost mica ~k ~epochs =
+  check_epochs epochs;
+  let outcomes =
+    Array.to_list
+      (Array.map
+         (fun readings ->
+           let plan = Oracle.oracle_proof_plan topo ~k ~readings in
+           Proof_exec.run topo cost plan ~k ~readings)
+         epochs)
+  in
+  {
+    accuracy = 1.;
+    collection_mj =
+      mean (List.map (fun o -> o.Proof_exec.collection_mj) outcomes);
+    trigger_mj = Naive.flood_trigger_mj topo mica;
+    install_mj = 0.;
+    messages = mean (List.map (fun o -> float_of_int o.Proof_exec.messages) outcomes);
+  }
+
+let exact topo cost mica plan ~k ~epochs =
+  check_epochs epochs;
+  let outcomes =
+    Array.to_list
+      (Array.map
+         (fun readings -> Exact.run topo cost mica plan ~k ~readings)
+         epochs)
+  in
+  let trigger = Plan.trigger_mj topo mica plan in
+  let phase1 =
+    {
+      accuracy = 1.;
+      collection_mj = mean (List.map (fun o -> o.Exact.phase1_mj) outcomes);
+      trigger_mj = trigger;
+      install_mj = Plan.install_mj topo mica plan;
+      messages =
+        mean (List.map (fun o -> float_of_int o.Exact.phase1_messages) outcomes);
+    }
+  in
+  let phase2 =
+    {
+      accuracy = 1.;
+      collection_mj = mean (List.map (fun o -> o.Exact.phase2_mj) outcomes);
+      trigger_mj = 0.;
+      install_mj = 0.;
+      messages =
+        mean (List.map (fun o -> float_of_int o.Exact.phase2_messages) outcomes);
+    }
+  in
+  (phase1, phase2)

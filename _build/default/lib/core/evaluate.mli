@@ -1,0 +1,70 @@
+(** Measurement harness: run plans against held-out epochs and report the
+    averages that the paper's figures plot (accuracy in % of the true top
+    k, measured energy in mJ). *)
+
+type point = {
+  accuracy : float;  (** mean fraction of the true top k returned, in [0,1] *)
+  collection_mj : float;  (** mean per-execution collection energy *)
+  trigger_mj : float;  (** per-execution trigger energy *)
+  install_mj : float;  (** one-off plan installation energy *)
+  messages : float;  (** mean unicasts per execution *)
+}
+
+val total_per_run_mj : point -> float
+(** [collection + trigger] — the per-execution cost the paper plots
+    (the install cost is amortized over many runs and reported apart). *)
+
+val approx :
+  Sensor.Topology.t ->
+  Sensor.Cost.t ->
+  Sensor.Mica2.t ->
+  Plan.t ->
+  k:int ->
+  epochs:float array array ->
+  point
+(** Evaluate an approximate plan over test epochs. *)
+
+val naive_k :
+  Sensor.Topology.t ->
+  Sensor.Cost.t ->
+  Sensor.Mica2.t ->
+  k:int ->
+  epochs:float array array ->
+  point
+
+val naive_one :
+  Sensor.Topology.t ->
+  Sensor.Cost.t ->
+  k:int ->
+  epochs:float array array ->
+  point
+
+val oracle :
+  Sensor.Topology.t ->
+  Sensor.Cost.t ->
+  Sensor.Mica2.t ->
+  k:int ->
+  epochs:float array array ->
+  point
+(** The oracle re-plans per epoch (it knows the answer locations), so its
+    install cost is counted per run. *)
+
+val oracle_proof :
+  Sensor.Topology.t ->
+  Sensor.Cost.t ->
+  Sensor.Mica2.t ->
+  k:int ->
+  epochs:float array array ->
+  point
+
+val exact :
+  Sensor.Topology.t ->
+  Sensor.Cost.t ->
+  Sensor.Mica2.t ->
+  Plan.t ->
+  k:int ->
+  epochs:float array array ->
+  point * point
+(** PROSPECTOR-EXACT with the given phase-1 proof plan.  Returns
+    (phase-1 point, phase-2 point); both have accuracy 1 by construction
+    (the algorithm is exact; the test suite asserts it). *)

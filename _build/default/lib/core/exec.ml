@@ -1,0 +1,75 @@
+type outcome = {
+  returned : (int * float) list;
+  collection_mj : float;
+  messages : int;
+  values_sent : int;
+}
+
+let value_order (i, x) (j, y) =
+  match compare (y : float) x with 0 -> compare i j | c -> c
+
+let take_prefix n xs =
+  let rec go n xs acc =
+    match (n, xs) with
+    | 0, _ | _, [] -> List.rev acc
+    | n, x :: rest -> go (n - 1) rest (x :: acc)
+  in
+  go n xs []
+
+let take = take_prefix
+
+let collect topo cost plan ~k ~readings =
+  if Array.length readings <> topo.Sensor.Topology.n then
+    invalid_arg "Exec.collect: readings length mismatch";
+  if k < 1 then invalid_arg "Exec.collect: k must be positive";
+  let root = topo.Sensor.Topology.root in
+  (* outbox.(i): the sorted list node i sends to its parent. *)
+  let outbox = Array.make topo.Sensor.Topology.n [] in
+  let energy = ref 0. in
+  let messages = ref 0 in
+  let values_sent = ref 0 in
+  Array.iter
+    (fun u ->
+      if u <> root && Plan.bandwidth plan u > 0 then begin
+        let received =
+          Array.fold_left
+            (fun acc c -> List.rev_append outbox.(c) acc)
+            [] topo.Sensor.Topology.children.(u)
+        in
+        let pool = List.sort value_order ((u, readings.(u)) :: received) in
+        let sent = take (Plan.bandwidth plan u) pool in
+        outbox.(u) <- sent;
+        let count = List.length sent in
+        energy := !energy +. Sensor.Cost.message_mj cost ~node:u ~values:count;
+        incr messages;
+        values_sent := !values_sent + count
+      end)
+    (Sensor.Topology.post_order topo);
+  let at_root =
+    Array.fold_left
+      (fun acc c -> List.rev_append outbox.(c) acc)
+      [ (root, readings.(root)) ]
+      topo.Sensor.Topology.children.(root)
+  in
+  let returned = take k (List.sort value_order at_root) in
+  {
+    returned;
+    collection_mj = !energy;
+    messages = !messages;
+    values_sent = !values_sent;
+  }
+
+let true_top_k ~k readings =
+  let all = Array.to_list (Array.mapi (fun i v -> (i, v)) readings) in
+  take k (List.sort value_order all)
+
+let accuracy ~k ~readings answer =
+  let truth = true_top_k ~k readings in
+  let answered = Hashtbl.create 16 in
+  List.iter (fun (i, _) -> Hashtbl.replace answered i ()) answer;
+  let hits =
+    List.fold_left
+      (fun acc (i, _) -> if Hashtbl.mem answered i then acc + 1 else acc)
+      0 truth
+  in
+  float_of_int hits /. float_of_int (List.length truth)

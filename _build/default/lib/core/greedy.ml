@@ -1,0 +1,50 @@
+let plan topo cost samples ~budget =
+  if budget < 0. then invalid_arg "Greedy.plan: negative budget";
+  let n = topo.Sensor.Topology.n in
+  let root = topo.Sensor.Topology.root in
+  let colsum = samples.Sampling.Sample_set.colsum in
+  (* Candidates by decreasing column sum, node id breaking ties. *)
+  let candidates =
+    List.init n (fun i -> i)
+    |> List.filter (fun i -> i <> root && colsum.(i) > 0)
+    |> List.sort (fun a b ->
+           match compare colsum.(b) colsum.(a) with
+           | 0 -> compare a b
+           | c -> c)
+  in
+  let chosen = Array.make n false in
+  chosen.(root) <- true;
+  (* Incremental cost: count of chosen descendants per edge. *)
+  let carried = Array.make n 0 in
+  let current_cost = ref 0. in
+  let try_add node =
+    (* Marginal cost of routing [node]'s value to the root: a new
+       per-message cost on every edge not yet used, plus one more value on
+       every edge of the path. *)
+    let path =
+      List.filter (fun u -> u <> root) (Sensor.Topology.path_to_root topo node)
+    in
+    let marginal =
+      List.fold_left
+        (fun acc u ->
+          let new_message =
+            if carried.(u) = 0 then cost.Sensor.Cost.per_message.(u) else 0.
+          in
+          acc +. new_message +. cost.Sensor.Cost.per_value.(u))
+        0. path
+    in
+    if !current_cost +. marginal <= budget +. 1e-9 then begin
+      chosen.(node) <- true;
+      current_cost := !current_cost +. marginal;
+      List.iter (fun u -> carried.(u) <- carried.(u) + 1) path;
+      true
+    end
+    else false
+  in
+  (* Paper semantics: stop at the first candidate that does not fit. *)
+  let rec add_all = function
+    | [] -> ()
+    | node :: rest -> if try_add node then add_all rest
+  in
+  add_all candidates;
+  Plan.of_chosen topo chosen

@@ -1,0 +1,18 @@
+(** PROSPECTOR-GREEDY (Section 3).
+
+    Builds an approximate plan incrementally: repeatedly pick the
+    not-yet-chosen node that appears most often in the sample top-k sets
+    (largest column sum) and add it to the plan, as long as the static cost
+    of the expanded plan stays within the energy budget.  Topology-blind:
+    each chosen value travels all the way to the root, paying per-message
+    costs on every edge of its path that the plan was not already using. *)
+
+val plan :
+  Sensor.Topology.t ->
+  Sensor.Cost.t ->
+  Sampling.Sample_set.t ->
+  budget:float ->
+  Plan.t
+(** Stops at the first candidate whose addition would exceed [budget]
+    (matching the paper's description).  Nodes that never appear in any
+    sample's top k are never added. *)

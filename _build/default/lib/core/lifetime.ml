@@ -1,0 +1,33 @@
+type t = {
+  runs : float;
+  bottleneck : int;
+  bottleneck_mj_per_run : float;
+  mean_mj_per_run : float;
+}
+
+let of_profile ~battery_j per_node_mj =
+  if battery_j <= 0. then invalid_arg "Lifetime.of_profile: battery_j";
+  Array.iter
+    (fun e -> if e < 0. then invalid_arg "Lifetime.of_profile: negative drain")
+    per_node_mj;
+  let bottleneck = ref (-1) and worst = ref 0. in
+  Array.iteri
+    (fun i e ->
+      if e > !worst then begin
+        worst := e;
+        bottleneck := i
+      end)
+    per_node_mj;
+  if !bottleneck < 0 then
+    invalid_arg "Lifetime.of_profile: no node consumes energy";
+  let n = Array.length per_node_mj in
+  {
+    runs = battery_j *. 1000. /. !worst;
+    bottleneck = !bottleneck;
+    bottleneck_mj_per_run = !worst;
+    mean_mj_per_run = Array.fold_left ( +. ) 0. per_node_mj /. float_of_int n;
+  }
+
+let of_plan topo mica plan ~k ~readings ~battery_j =
+  let r = Simnet_exec.collect topo mica plan ~k ~readings in
+  of_profile ~battery_j r.Simnet_exec.per_node_mj

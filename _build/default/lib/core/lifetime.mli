@@ -1,0 +1,31 @@
+(** Network-lifetime estimation.
+
+    The paper's introduction motivates energy efficiency through network
+    lifetime: the network lives until its first mote dies.  Because all
+    traffic funnels through the root's children, lifetime is governed by
+    the hottest node's per-execution drain, not the total.  This module
+    turns per-node energy profiles (from the discrete-event executor) into
+    executions-until-first-death. *)
+
+type t = {
+  runs : float;  (** executions until the first battery is empty *)
+  bottleneck : int;  (** the node that dies first *)
+  bottleneck_mj_per_run : float;
+  mean_mj_per_run : float;  (** network-wide mean drain per execution *)
+}
+
+val of_profile : battery_j:float -> float array -> t
+(** [of_profile ~battery_j per_node_mj] with one entry per node; entries
+    that are 0 (idle nodes) never die.  The root (typically mains-powered
+    in deployments, but battery-powered here) is included like any node.
+    @raise Invalid_argument if all entries are 0 or any is negative. *)
+
+val of_plan :
+  Sensor.Topology.t ->
+  Sensor.Mica2.t ->
+  Plan.t ->
+  k:int ->
+  readings:float array ->
+  battery_j:float ->
+  t
+(** Profile one plan execution on the simulator and extrapolate. *)

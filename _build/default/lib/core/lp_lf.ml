@@ -1,0 +1,102 @@
+type result = {
+  plan : Plan.t;
+  lp_objective : float;
+  lp_stats : Lp.Revised.stats option;
+  fractional : float array;
+  budget_shadow_price : float;
+}
+
+let plan topo cost samples ~budget ~k =
+  if budget < 0. then invalid_arg "Lp_lf.plan: negative budget";
+  if k < 1 then invalid_arg "Lp_lf.plan: k must be positive";
+  let n = topo.Sensor.Topology.n in
+  let root = topo.Sensor.Topology.root in
+  let ones = samples.Sampling.Sample_set.ones in
+  let n_samples = Array.length ones in
+  let model = Lp.Model.create ~direction:Lp.Model.Maximize () in
+  let z = Array.make n None and b = Array.make n None in
+  for i = 0 to n - 1 do
+    if i <> root then begin
+      z.(i) <- Some (Lp.Model.add_var model ~upper:1. (Printf.sprintf "z%d" i));
+      let cap =
+        float_of_int (Int.min k topo.Sensor.Topology.subtree_size.(i))
+      in
+      b.(i) <-
+        Some (Lp.Model.add_var model ~upper:cap (Printf.sprintf "b%d" i))
+    end
+  done;
+  let getz i = Option.get z.(i) and getb i = Option.get b.(i) in
+  (* y variables, one per (sample, non-root one). *)
+  let y = Hashtbl.create (n_samples * k) in
+  for j = 0 to n_samples - 1 do
+    Array.iter
+      (fun i ->
+        if i <> root then
+          Hashtbl.replace y (j, i)
+            (Lp.Model.add_var model ~upper:1. ~obj:1.
+               (Printf.sprintf "y%d_%d" j i)))
+      ones.(j)
+  done;
+  (* Edge activation and monotonicity. *)
+  for i = 0 to n - 1 do
+    if i <> root then begin
+      let cap =
+        float_of_int (Int.min k topo.Sensor.Topology.subtree_size.(i))
+      in
+      Lp.Model.add_le model [ (1., getb i); (-.cap, getz i) ] 0.;
+      let p = topo.Sensor.Topology.parent.(i) in
+      if p <> root then
+        Lp.Model.add_le model [ (1., getz i); (-1., getz p) ] 0.
+    end
+  done;
+  (* y_{j,i} <= z_i on the node's own uplink. *)
+  Hashtbl.iter
+    (fun (_, i) yv -> Lp.Model.add_le model [ (1., yv); (-1., getz i) ] 0.)
+    y;
+  (* Bandwidth rows: per (edge, sample), the covered ones below the edge
+     cannot exceed its bandwidth.  Rows with no ones below are skipped. *)
+  for i = 0 to n - 1 do
+    if i <> root then begin
+      let desc = Sensor.Topology.descendants topo i in
+      for j = 0 to n_samples - 1 do
+        let terms =
+          List.filter_map
+            (fun u -> Option.map (fun yv -> (1., yv)) (Hashtbl.find_opt y (j, u)))
+            desc
+        in
+        if terms <> [] then
+          Lp.Model.add_le model ((-1., getb i) :: terms) 0.
+      done
+    end
+  done;
+  (* Budget. *)
+  let budget_terms = ref [] in
+  for i = 0 to n - 1 do
+    if i <> root then
+      budget_terms :=
+        (cost.Sensor.Cost.per_message.(i), getz i)
+        :: (cost.Sensor.Cost.per_value.(i), getb i)
+        :: !budget_terms
+  done;
+  Lp.Model.add_le model !budget_terms budget;
+  let sol = Lp.Model.solve model in
+  (match sol.Lp.Model.status with
+  | Lp.Model.Optimal -> ()
+  | _ -> failwith "Lp_lf.plan: LP did not reach optimality");
+  let fractional = Array.make n 0. in
+  for i = 0 to n - 1 do
+    if i <> root then fractional.(i) <- Lp.Model.value sol (getb i)
+  done;
+  (* The budget row is the last constraint added. *)
+  let budget_shadow_price =
+    match sol.Lp.Model.row_duals with
+    | Some duals -> duals.(Array.length duals - 1)
+    | None -> 0.
+  in
+  {
+    plan = Plan.of_fractional topo fractional;
+    lp_objective = sol.Lp.Model.objective;
+    lp_stats = sol.Lp.Model.stats;
+    fractional;
+    budget_shadow_price;
+  }

@@ -1,0 +1,37 @@
+(** PROSPECTOR-LP+LF: topology-aware planning with local filtering
+    (Section 4.2).
+
+    The plan is a bandwidth assignment [b_e] per edge.  One relaxed 0/1
+    variable [y_{j,i}] exists per (sample [j], node [i] in [ones(j)]) —
+    "the plan returns [i]'s value when executed on sample [j]" — so the
+    plan can make run-time decisions per sample: a subtree that reliably
+    contains some top-k values, each time in a different node, can be
+    covered with a small bandwidth (the local filter passes whichever
+    values win that day).
+
+    Constraints: [y <= z] on the node's own edge plus z-monotonicity up the
+    tree (compact equivalent of the paper's per-ancestor rows), a bandwidth
+    row per (edge, sample) limiting how many covered ones can flow through
+    the edge, activation [b_e <= cap * z_e], and the energy budget charging
+    [cm] per used edge and per-value cost per unit bandwidth. *)
+
+type result = {
+  plan : Plan.t;
+  lp_objective : float;
+  lp_stats : Lp.Revised.stats option;
+  fractional : float array;  (** the raw LP bandwidths, for rounding studies *)
+  budget_shadow_price : float;
+      (** marginal covered-ones per mJ of extra budget at the optimum — the
+          number a deployment engineer reads to decide whether raising the
+          energy budget is still worth it *)
+}
+
+val plan :
+  Sensor.Topology.t ->
+  Sensor.Cost.t ->
+  Sampling.Sample_set.t ->
+  budget:float ->
+  k:int ->
+  result
+(** [k] caps the useful bandwidth of any edge (sending more than [k]
+    values cannot improve a top-k answer). *)

@@ -1,0 +1,19 @@
+type result = {
+  plan : Plan.t;
+  lp_objective : float;
+  lp_stats : Lp.Revised.stats option;
+  chosen : bool array;
+}
+
+let plan topo cost samples ~budget =
+  if budget < 0. then invalid_arg "Lp_no_lf.plan: negative budget";
+  let r =
+    Ship_lp.plan_by_colsum topo cost
+      ~colsum:samples.Sampling.Sample_set.colsum ~budget
+  in
+  {
+    plan = Plan.of_chosen topo r.Ship_lp.chosen;
+    lp_objective = r.Ship_lp.lp_objective;
+    lp_stats = r.Ship_lp.lp_stats;
+    chosen = r.Ship_lp.chosen;
+  }

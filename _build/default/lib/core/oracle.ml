@@ -1,0 +1,29 @@
+let oracle_plan topo ~k ~readings =
+  let chosen = Array.make topo.Sensor.Topology.n false in
+  List.iter (fun (i, _) -> chosen.(i) <- true) (Exec.true_top_k ~k readings);
+  Plan.of_chosen topo chosen
+
+let oracle topo cost ~k ~readings =
+  Exec.collect topo cost (oracle_plan topo ~k ~readings) ~k ~readings
+
+let oracle_proof_plan topo ~k ~readings =
+  let n = topo.Sensor.Topology.n in
+  let in_top = Array.make n false in
+  List.iter (fun (i, _) -> in_top.(i) <- true) (Exec.true_top_k ~k readings);
+  (* Per edge: all answer values below it, plus one witness value if the
+     subtree holds anything else. *)
+  let bw = Array.make n 0 in
+  Array.iter
+    (fun u ->
+      if u <> topo.Sensor.Topology.root then begin
+        let answers_below =
+          List.fold_left
+            (fun acc d -> if in_top.(d) then acc + 1 else acc)
+            0
+            (Sensor.Topology.descendants topo u)
+        in
+        let size = topo.Sensor.Topology.subtree_size.(u) in
+        bw.(u) <- Int.min size (answers_below + 1)
+      end)
+    (Sensor.Topology.post_order topo);
+  Plan.make topo bw

@@ -1,0 +1,24 @@
+(** The non-plausible baselines of Section 5.
+
+    ORACLE knows where the top k values are beforehand and runs the
+    cheapest plan that retrieves exactly them: the minimal subtree spanning
+    the top-k nodes, each edge carrying just the top-k values below it.
+    Its cost lower-bounds every approximate algorithm.
+
+    ORACLE-PROOF also knows the locations but must still prove its answer,
+    so it visits all nodes: every edge carries the top-k values below it
+    plus (when the subtree has more values) one witness — the largest
+    non-answer value — so each ancestor can prove the answer values.  Its
+    cost lower-bounds every exact algorithm. *)
+
+val oracle :
+  Sensor.Topology.t -> Sensor.Cost.t -> k:int -> readings:float array ->
+  Exec.outcome
+(** Always 100% accurate. *)
+
+val oracle_plan : Sensor.Topology.t -> k:int -> readings:float array -> Plan.t
+
+val oracle_proof_plan :
+  Sensor.Topology.t -> k:int -> readings:float array -> Plan.t
+(** The bandwidth assignment described above; running it through
+    {!Proof_exec.run} proves all k answer values. *)

@@ -1,0 +1,120 @@
+type t = { bandwidth : int array }
+
+let normalize topo bw =
+  let root = topo.Sensor.Topology.root in
+  bw.(root) <- 0;
+  (* Top-down (BFS order, parents first): clear subtrees hanging below a
+     zero-bandwidth edge — their values could never reach the root. *)
+  Array.iter
+    (fun u ->
+      if u <> root then begin
+        let p = topo.Sensor.Topology.parent.(u) in
+        if p <> root && bw.(p) = 0 then bw.(u) <- 0
+      end)
+    topo.Sensor.Topology.bfs_order;
+  (* Bottom-up: an edge cannot carry more than own reading + inflow. *)
+  Array.iter
+    (fun u ->
+      if u <> root && bw.(u) > 0 then begin
+        let inflow =
+          Array.fold_left
+            (fun acc c -> acc + bw.(c))
+            0 topo.Sensor.Topology.children.(u)
+        in
+        bw.(u) <- Int.min bw.(u) (inflow + 1)
+      end)
+    (Sensor.Topology.post_order topo)
+
+let make topo bandwidth =
+  if Array.length bandwidth <> topo.Sensor.Topology.n then
+    invalid_arg "Plan.make: length mismatch";
+  Array.iter
+    (fun b -> if b < 0 then invalid_arg "Plan.make: negative bandwidth")
+    bandwidth;
+  let bw = Array.copy bandwidth in
+  normalize topo bw;
+  { bandwidth = bw }
+
+let of_fractional ?(round = `Nearest) topo fractional =
+  if Array.length fractional <> topo.Sensor.Topology.n then
+    invalid_arg "Plan.of_fractional: length mismatch";
+  let round_one f =
+    (* LP solutions carry numerical noise; clamp tiny negatives. *)
+    if f < -1e-6 then invalid_arg "Plan.of_fractional: negative bandwidth";
+    let f = Float.max 0. f in
+    match round with
+    | `Nearest -> int_of_float (Float.floor (f +. 0.5))
+    | `Up -> int_of_float (Float.ceil (f -. 1e-6))
+  in
+  let bw = Array.map round_one fractional in
+  normalize topo bw;
+  { bandwidth = bw }
+
+let of_chosen topo chosen =
+  if Array.length chosen <> topo.Sensor.Topology.n then
+    invalid_arg "Plan.of_chosen: length mismatch";
+  let bw = Array.make topo.Sensor.Topology.n 0 in
+  Array.iter
+    (fun u ->
+      let below =
+        Array.fold_left
+          (fun acc c -> acc + bw.(c))
+          0 topo.Sensor.Topology.children.(u)
+      in
+      bw.(u) <- (below + if chosen.(u) then 1 else 0))
+    (Sensor.Topology.post_order topo);
+  bw.(topo.Sensor.Topology.root) <- 0;
+  { bandwidth = bw }
+
+let bandwidth t i = t.bandwidth.(i)
+
+let participates t ~root i = i = root || t.bandwidth.(i) > 0
+
+let participants topo t =
+  let root = topo.Sensor.Topology.root in
+  List.filter
+    (fun u -> participates t ~root u)
+    (Array.to_list topo.Sensor.Topology.bfs_order)
+
+let expected_collection_mj topo cost t =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i b ->
+      if b > 0 && i <> topo.Sensor.Topology.root then
+        acc := !acc +. Sensor.Cost.message_mj cost ~node:i ~values:b)
+    t.bandwidth;
+  !acc
+
+let trigger_mj topo mica t =
+  let root = topo.Sensor.Topology.root in
+  let acc = ref 0. in
+  Array.iter
+    (fun u ->
+      if participates t ~root u then begin
+        let participating_children =
+          Array.fold_left
+            (fun n c -> if t.bandwidth.(c) > 0 then n + 1 else n)
+            0 topo.Sensor.Topology.children.(u)
+        in
+        if participating_children > 0 then
+          acc :=
+            !acc +. Sensor.Mica2.trigger_mj mica ~receivers:participating_children
+      end)
+    topo.Sensor.Topology.bfs_order;
+  !acc
+
+let install_mj topo mica t =
+  let root = topo.Sensor.Topology.root in
+  let edges =
+    List.length (List.filter (fun u -> u <> root) (participants topo t))
+  in
+  float_of_int edges *. Sensor.Mica2.plan_install_mj mica
+
+let total_bandwidth t = Array.fold_left ( + ) 0 t.bandwidth
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>plan:";
+  Array.iteri
+    (fun i b -> if b > 0 then Format.fprintf ppf " %d:%d" i b)
+    t.bandwidth;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,62 @@
+(** Approximate top-k query plans (Section 2).
+
+    A single-pass approximate plan assigns a bandwidth to every edge of the
+    spanning tree: [bandwidth.(i)] is the number of values node [i] may
+    send on the edge to its parent.  During collection each participating
+    node sorts the values received from its children together with its own
+    reading and forwards the top [bandwidth.(i)] of them — bandwidth lower
+    than the inflow realizes the paper's local filtering.
+
+    A node participates iff its bandwidth is positive (the root always
+    participates).  [normalize] restores the two invariants that LP
+    rounding can break:
+    - no dead branches: a subtree whose uplink bandwidth is 0 sends
+      nothing, so all bandwidth inside it is cleared;
+    - no over-allocation: an edge never needs more bandwidth than one plus
+      the total bandwidth of the node's children (its own reading plus
+      everything it can receive). *)
+
+type t = private { bandwidth : int array }
+
+val make : Sensor.Topology.t -> int array -> t
+(** Build a plan from per-node bandwidths (the root's entry is forced to
+    0; it has no uplink).  The array is copied and normalized.
+    @raise Invalid_argument on negative entries or length mismatch. *)
+
+val of_fractional :
+  ?round:[ `Nearest | `Up ] -> Sensor.Topology.t -> float array -> t
+(** Round an LP bandwidth solution, then normalize.  [`Nearest] (default)
+    is the paper's round-at-1/2 scheme for approximate plans; [`Up] is used
+    for proof plans, where a fractional bandwidth certifies a fractional
+    witness and only the ceiling preserves provability. *)
+
+val of_chosen : Sensor.Topology.t -> bool array -> t
+(** The no-local-filtering plan that ships every chosen node's value all
+    the way to the root: each edge's bandwidth is the number of chosen
+    nodes in the subtree below it (used by GREEDY and LP-LF). *)
+
+val bandwidth : t -> int -> int
+
+val participates : t -> root:int -> int -> bool
+
+val participants : Sensor.Topology.t -> t -> int list
+(** All participating nodes, the root included, in BFS order. *)
+
+val expected_collection_mj : Sensor.Topology.t -> Sensor.Cost.t -> t -> float
+(** Static upper bound on one collection phase: every participating edge
+    pays its per-message cost plus its full bandwidth in values.  Actual
+    executions can be cheaper when fewer values than the bandwidth are
+    available. *)
+
+val trigger_mj : Sensor.Topology.t -> Sensor.Mica2.t -> t -> float
+(** Cost of re-triggering the stored plan: one empty broadcast per
+    participating node that has participating children, plus one from the
+    root if any of its children participate. *)
+
+val install_mj : Sensor.Topology.t -> Sensor.Mica2.t -> t -> float
+(** Cost of the initial distribution phase: one subplan unicast per
+    participating edge. *)
+
+val total_bandwidth : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+type t = {
+  min_gain : float;
+  amortization_runs : int;
+  mutable plan : Plan.t;
+  mutable replans : int;
+}
+
+type decision = Kept | Disseminated of Plan.t
+
+let create ?(min_gain = 0.05) ?(amortization_runs = 50) ~initial () =
+  if min_gain < 0. then invalid_arg "Replan.create: negative min_gain";
+  if amortization_runs < 1 then
+    invalid_arg "Replan.create: amortization_runs must be positive";
+  { min_gain; amortization_runs; plan = initial; replans = 0 }
+
+let current t = t.plan
+
+let force t plan =
+  t.plan <- plan;
+  t.replans <- t.replans + 1
+
+let replans t = t.replans
+
+let expected_accuracy topo cost plan ~k samples =
+  let epochs = samples.Sampling.Sample_set.values in
+  let total =
+    Array.fold_left
+      (fun acc readings ->
+        let o = Exec.collect topo cost plan ~k ~readings in
+        acc +. Exec.accuracy ~k ~readings o.Exec.returned)
+      0. epochs
+  in
+  total /. float_of_int (Array.length epochs)
+
+let consider t topo cost mica samples ~k ~budget =
+  let candidate = (Lp_lf.plan topo cost samples ~budget ~k).Lp_lf.plan in
+  let incumbent_score = expected_accuracy topo cost t.plan ~k samples in
+  let candidate_score = expected_accuracy topo cost candidate ~k samples in
+  let gain = candidate_score -. incumbent_score in
+  (* The install cost is amortized over the plan's expected lifetime; it
+     raises the gain a candidate must show, but only slightly (installs
+     are one unicast per participating node).  Both plans already live
+     within the same per-run budget, so running cost needs no gate. *)
+  let install = Plan.install_mj topo mica candidate in
+  let install_penalty =
+    install /. (float_of_int t.amortization_runs *. Float.max budget 1e-9)
+  in
+  if gain >= t.min_gain +. install_penalty then begin
+    t.plan <- candidate;
+    t.replans <- t.replans + 1;
+    Disseminated candidate
+  end
+  else Kept

@@ -1,0 +1,55 @@
+(** Plan re-calculation policy (Section 4.4, "Plan Re-calculation").
+
+    Disseminating a new plan costs a unicast per participating node, so it
+    is prohibitive to re-install on every change.  The base station instead
+    re-optimizes locally (it has power to spare) and disseminates only when
+    the candidate plan beats the installed one by a clear margin on the
+    current sample window — enough that the expected accuracy gain repays
+    the installation cost over the plan's lifetime. *)
+
+type t
+
+type decision =
+  | Kept  (** candidate not convincingly better; nothing transmitted *)
+  | Disseminated of Plan.t
+      (** new plan installed (the caller pays {!Plan.install_mj}) *)
+
+val create :
+  ?min_gain:float ->
+  ?amortization_runs:int ->
+  initial:Plan.t ->
+  unit ->
+  t
+(** [min_gain] (default 0.05) is the minimum improvement in expected
+    accuracy (fraction of sample answer entries covered) that justifies
+    dissemination; [amortization_runs] (default 50) is how many executions
+    a plan is expected to serve, used to weigh the installation cost. *)
+
+val current : t -> Plan.t
+
+val force : t -> Plan.t -> unit
+(** Install a plan unconditionally (used by periodic re-planning
+    baselines); counts as a dissemination. *)
+
+val replans : t -> int
+(** How many times a new plan has been disseminated. *)
+
+val expected_accuracy :
+  Sensor.Topology.t -> Sensor.Cost.t -> Plan.t -> k:int ->
+  Sampling.Sample_set.t -> float
+(** Mean fraction of each sample's top k that the plan returns when
+    executed on that sample — the score the policy compares. *)
+
+val consider :
+  t ->
+  Sensor.Topology.t ->
+  Sensor.Cost.t ->
+  Sensor.Mica2.t ->
+  Sampling.Sample_set.t ->
+  k:int ->
+  budget:float ->
+  decision
+(** Re-optimize (PROSPECTOR-LP+LF) against the given samples and decide.
+    A candidate must beat the incumbent by [min_gain] expected accuracy
+    {e and} offer a per-run energy headroom that repays the install cost
+    within [amortization_runs] executions. *)

@@ -1,0 +1,109 @@
+type result = {
+  chosen : bool array;
+  lp_objective : float;
+  lp_stats : Lp.Revised.stats option;
+}
+
+let plan_by_colsum topo cost ~colsum ~budget =
+  if budget < 0. then invalid_arg "Ship_lp.plan_by_colsum: negative budget";
+  let n = topo.Sensor.Topology.n in
+  if Array.length colsum <> n then
+    invalid_arg "Ship_lp.plan_by_colsum: colsum length";
+  let root = topo.Sensor.Topology.root in
+  let model = Lp.Model.create ~direction:Lp.Model.Maximize () in
+  let x = Array.make n None and z = Array.make n None in
+  for i = 0 to n - 1 do
+    if i <> root then begin
+      x.(i) <-
+        Some
+          (Lp.Model.add_var model ~upper:1.
+             ~obj:(float_of_int colsum.(i))
+             (Printf.sprintf "x%d" i));
+      z.(i) <- Some (Lp.Model.add_var model ~upper:1. (Printf.sprintf "z%d" i))
+    end
+  done;
+  let getx i = Option.get x.(i) and getz i = Option.get z.(i) in
+  (* x_i <= z_i and edge-usage monotonicity z_i <= z_parent(i). *)
+  for i = 0 to n - 1 do
+    if i <> root then begin
+      Lp.Model.add_le model [ (1., getx i); (-1., getz i) ] 0.;
+      let p = topo.Sensor.Topology.parent.(i) in
+      if p <> root then
+        Lp.Model.add_le model [ (1., getz i); (-1., getz p) ] 0.
+    end
+  done;
+  (* Budget: per-message on used edges, per-value along each chosen path. *)
+  let budget_terms = ref [] in
+  for i = 0 to n - 1 do
+    if i <> root then begin
+      budget_terms :=
+        (cost.Sensor.Cost.per_message.(i), getz i) :: !budget_terms;
+      let path_value_cost =
+        List.fold_left
+          (fun acc u ->
+            if u = root then acc else acc +. cost.Sensor.Cost.per_value.(u))
+          0.
+          (Sensor.Topology.path_to_root topo i)
+      in
+      budget_terms := (path_value_cost, getx i) :: !budget_terms
+    end
+  done;
+  Lp.Model.add_le model !budget_terms budget;
+  let sol = Lp.Model.solve model in
+  (match sol.Lp.Model.status with
+  | Lp.Model.Optimal -> ()
+  | _ -> failwith "Ship_lp.plan_by_colsum: LP did not reach optimality");
+  let chosen = Array.make n false in
+  chosen.(root) <- true;
+  for i = 0 to n - 1 do
+    if i <> root && Lp.Model.value sol (getx i) >= 0.5 then chosen.(i) <- true
+  done;
+  (* Threshold rounding can leave an empty (or very light) plan when the
+     relaxation spreads mass below 1/2 — common on deep trees where many
+     nodes share path costs.  Spend the remaining budget on the
+     highest-valued fractional nodes, most promising first. *)
+  let carried = Array.make n 0 in
+  let current_cost = ref 0. in
+  let marginal node =
+    let path =
+      List.filter (fun u -> u <> root) (Sensor.Topology.path_to_root topo node)
+    in
+    List.fold_left
+      (fun acc u ->
+        let new_message =
+          if carried.(u) = 0 then cost.Sensor.Cost.per_message.(u) else 0.
+        in
+        acc +. new_message +. cost.Sensor.Cost.per_value.(u))
+      0. path
+  in
+  let commit node =
+    current_cost := !current_cost +. marginal node;
+    List.iter
+      (fun u -> if u <> root then carried.(u) <- carried.(u) + 1)
+      (Sensor.Topology.path_to_root topo node)
+  in
+  for i = 0 to n - 1 do
+    if chosen.(i) && i <> root then commit i
+  done;
+  let fractional_candidates =
+    List.init n (fun i -> i)
+    |> List.filter (fun i ->
+           i <> root
+           && (not chosen.(i))
+           && Lp.Model.value sol (getx i) > 0.05
+           && colsum.(i) > 0)
+    |> List.sort (fun a b ->
+           compare (Lp.Model.value sol (getx b)) (Lp.Model.value sol (getx a)))
+  in
+  List.iter
+    (fun i ->
+      if !current_cost +. marginal i <= budget +. 1e-9 then begin
+        chosen.(i) <- true;
+        commit i
+      end)
+    fractional_candidates;
+  {
+    chosen;
+    lp_objective = sol.Lp.Model.objective;
+    lp_stats = sol.Lp.Model.stats;
+  }

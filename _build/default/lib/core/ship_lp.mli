@@ -1,0 +1,21 @@
+(** Shared core of the "ship chosen nodes to the root" LP planners
+    ({!Lp_no_lf} for top-k, {!Subset_planner} for generalized subset
+    queries).  The formulation only depends on how often each node
+    contributes to sample answers (its column sum). *)
+
+type result = {
+  chosen : bool array;
+  lp_objective : float;
+  lp_stats : Lp.Revised.stats option;
+}
+
+val plan_by_colsum :
+  Sensor.Topology.t ->
+  Sensor.Cost.t ->
+  colsum:int array ->
+  budget:float ->
+  result
+(** Solve the relaxation, round at 1/2, then spend leftover budget on the
+    most fractional remaining nodes.  @raise Invalid_argument on a negative
+    budget; @raise Failure if the LP solver fails (cannot happen for these
+    always-feasible programs unless iteration limits are hit). *)

@@ -1,0 +1,28 @@
+(** Approximate-plan execution on the {!Simnet} discrete-event engine.
+
+    Semantically identical to {!Exec.collect}, but the collection phase
+    actually runs as messages between mote processes: the root broadcasts a
+    trigger down the participating subtree, leaves respond, and each inner
+    node forwards its local filter's output once all participating children
+    have reported.  Used to validate the analytic executor (the test suite
+    asserts both return the same answer and the same collection energy) and
+    to study latency and per-node energy, which the analytic path cannot
+    provide. *)
+
+type result = {
+  returned : (int * float) list;
+  total_mj : float;  (** trigger + collection energy, summed over nodes *)
+  per_node_mj : float array;
+  latency_s : float;  (** simulated time until the root has its answer *)
+  unicasts : int;
+  reroutes : int;
+}
+
+val collect :
+  Sensor.Topology.t ->
+  Sensor.Mica2.t ->
+  ?failure:Sensor.Failure.t * Rng.t ->
+  Plan.t ->
+  k:int ->
+  readings:float array ->
+  result

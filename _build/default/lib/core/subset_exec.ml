@@ -1,0 +1,75 @@
+type outcome = {
+  received : (int * float) list;
+  collection_mj : float;
+  messages : int;
+  values_sent : int;
+}
+
+let collect topo cost ~chosen ~readings =
+  let n = topo.Sensor.Topology.n in
+  if Array.length chosen <> n || Array.length readings <> n then
+    invalid_arg "Subset_exec.collect: length mismatch";
+  let root = topo.Sensor.Topology.root in
+  let outbox = Array.make n [] in
+  let energy = ref 0. and messages = ref 0 and values_sent = ref 0 in
+  Array.iter
+    (fun u ->
+      if u <> root then begin
+        let received =
+          Array.fold_left
+            (fun acc c -> List.rev_append outbox.(c) acc)
+            [] topo.Sensor.Topology.children.(u)
+        in
+        let load =
+          if chosen.(u) then (u, readings.(u)) :: received else received
+        in
+        if load <> [] then begin
+          outbox.(u) <- load;
+          let count = List.length load in
+          energy :=
+            !energy +. Sensor.Cost.message_mj cost ~node:u ~values:count;
+          incr messages;
+          values_sent := !values_sent + count
+        end
+      end)
+    (Sensor.Topology.post_order topo);
+  let received =
+    Array.fold_left
+      (fun acc c -> List.rev_append outbox.(c) acc)
+      [ (root, readings.(root)) ]
+      topo.Sensor.Topology.children.(root)
+  in
+  {
+    received = List.sort Exec.value_order received;
+    collection_mj = !energy;
+    messages = !messages;
+    values_sent = !values_sent;
+  }
+
+let recall ~truth received =
+  if Array.length truth = 0 then 1.
+  else begin
+    let have = Hashtbl.create 16 in
+    List.iter (fun (i, _) -> Hashtbl.replace have i ()) received;
+    let hits =
+      Array.fold_left
+        (fun acc i -> if Hashtbl.mem have i then acc + 1 else acc)
+        0 truth
+    in
+    float_of_int hits /. float_of_int (Array.length truth)
+  end
+
+let quantile_estimate ~phi received =
+  if phi <= 0. || phi >= 1. then
+    invalid_arg "Subset_exec.quantile_estimate: phi out of range";
+  match received with
+  | [] -> None
+  | _ ->
+      let values =
+        List.map snd received |> List.sort compare |> Array.of_list
+      in
+      let pos = phi *. float_of_int (Array.length values - 1) in
+      let lo = int_of_float (Float.floor pos) in
+      let hi = Int.min (lo + 1) (Array.length values - 1) in
+      let frac = pos -. float_of_int lo in
+      Some ((values.(lo) *. (1. -. frac)) +. (values.(hi) *. frac))

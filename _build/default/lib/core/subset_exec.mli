@@ -1,0 +1,28 @@
+(** Execution for generalized subset queries: ship exactly the chosen
+    nodes' readings to the root, unfiltered (relays forward what they
+    receive, adding their own reading only if chosen).  This is the correct
+    collection semantics when the answer is not "the largest values" — a
+    local top-b filter could drop the median or a below-threshold witness
+    the query actually wants. *)
+
+type outcome = {
+  received : (int * float) list;  (** (origin, value), root's own included *)
+  collection_mj : float;
+  messages : int;
+  values_sent : int;
+}
+
+val collect :
+  Sensor.Topology.t ->
+  Sensor.Cost.t ->
+  chosen:bool array ->
+  readings:float array ->
+  outcome
+
+val recall : truth:int array -> (int * float) list -> float
+(** Fraction of the true answer set present among the received origins
+    (1. when the truth is empty). *)
+
+val quantile_estimate : phi:float -> (int * float) list -> float option
+(** The [phi]-quantile of the received values — the root's best estimate
+    of the network quantile. *)

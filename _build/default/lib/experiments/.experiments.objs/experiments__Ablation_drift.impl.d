@@ -1,0 +1,1 @@
+lib/experiments/ablation_drift.ml: Array Float Printf Prospector Rng Sampling Sensor Series

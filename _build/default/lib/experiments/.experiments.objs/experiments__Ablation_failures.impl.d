@@ -1,0 +1,1 @@
+lib/experiments/ablation_failures.ml: Array Planner_eval Printf Prospector Rng Sensor Series Setup

@@ -1,0 +1,1 @@
+lib/experiments/ablation_rounding.ml: List Planner_eval Prospector Series Setup

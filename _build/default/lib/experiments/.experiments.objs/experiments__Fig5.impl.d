@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: List Planner_eval Printf Prospector Sensor Series Setup

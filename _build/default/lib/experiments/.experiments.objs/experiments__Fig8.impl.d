@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: List Planner_eval Printf Prospector Series Setup

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: List Planner_eval Printf Prospector Series Setup

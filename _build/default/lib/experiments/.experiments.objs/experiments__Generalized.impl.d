@@ -1,0 +1,1 @@
+lib/experiments/generalized.ml: Array Float List Planner_eval Printf Prospector Sampling Series Setup

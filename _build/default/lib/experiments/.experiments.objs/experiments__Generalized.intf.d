@@ -1,0 +1,1 @@
+lib/experiments/generalized.mli: Series

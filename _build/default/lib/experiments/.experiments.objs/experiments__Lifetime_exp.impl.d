@@ -1,0 +1,1 @@
+lib/experiments/lifetime_exp.ml: Array Int List Planner_eval Printf Prospector Sensor Series Setup

@@ -1,0 +1,1 @@
+lib/experiments/model_sampling.ml: Array Int Printf Prospector Rng Sampling Sensor Series

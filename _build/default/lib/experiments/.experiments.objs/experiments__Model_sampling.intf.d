@@ -1,0 +1,1 @@
+lib/experiments/model_sampling.mli: Series

@@ -1,0 +1,1 @@
+lib/experiments/planner_eval.ml: Array Evaluate Exec Greedy Lp_lf Lp_no_lf Lp_proof Prospector Setup

@@ -1,0 +1,1 @@
+lib/experiments/planner_eval.mli: Prospector Setup

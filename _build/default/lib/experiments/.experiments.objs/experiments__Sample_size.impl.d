@@ -1,0 +1,1 @@
+lib/experiments/sample_size.ml: Int List Planner_eval Printf Prospector Sampling Series Setup

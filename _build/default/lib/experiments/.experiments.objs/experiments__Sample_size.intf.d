@@ -1,0 +1,1 @@
+lib/experiments/sample_size.mli: Series

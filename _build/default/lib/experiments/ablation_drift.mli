@@ -1,0 +1,7 @@
+(** Ablation: distribution drift vs the Section 4.4 adaptivity machinery
+    (sliding sample window, adaptive re-sampling rate, conditional plan
+    re-dissemination).  A wandering hot spot defeats a static plan; the
+    adaptive policy should recover most of the periodic re-planner's
+    accuracy at a fraction of its sampling/installation energy. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Series.t list

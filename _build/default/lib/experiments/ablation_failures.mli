@@ -1,0 +1,10 @@
+(** Ablation (Section 4.4, "Coping with failures"): does folding expected
+    re-routing costs into the planner's edge costs pay off?
+
+    Two LP+LF plans are built for the same network and budget — one with
+    the plain cost model, one with failure-inflated edge costs — and both
+    are executed on the discrete-event simulator with transient failures
+    injected.  The failure-aware plan should hold the same accuracy while
+    spending measurably less energy on flaky edges. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Series.t list

@@ -1,0 +1,56 @@
+let run ?(quick = false) ~seed () =
+  let k = if quick then 5 else 10 in
+  let s =
+    Setup.contention ~seed ~n_zones:6 ~per_zone:(2 * k)
+      ~background:(if quick then 30 else 60)
+      ~k
+      ~n_samples:(if quick then 12 else 25)
+      ~n_test:(if quick then 8 else 20)
+      ()
+  in
+  let anchor = Planner_eval.naive_k_cost s in
+  let fractions = if quick then [ 0.15; 0.35 ] else [ 0.1; 0.2; 0.35; 0.55 ] in
+  let rows =
+    List.concat_map
+      (fun f ->
+        let budget = f *. anchor in
+        let r =
+          Prospector.Lp_lf.plan s.Setup.topo s.Setup.cost s.Setup.samples
+            ~budget ~k
+        in
+        let evaluate round =
+          let plan =
+            Prospector.Plan.of_fractional ~round s.Setup.topo
+              r.Prospector.Lp_lf.fractional
+          in
+          Prospector.Evaluate.approx s.Setup.topo s.Setup.cost s.Setup.mica
+            plan ~k ~epochs:s.Setup.test_epochs
+        in
+        let nearest = evaluate `Nearest in
+        let up = evaluate `Up in
+        [
+          [
+            budget;
+            0.;
+            Prospector.Evaluate.total_per_run_mj nearest;
+            100. *. nearest.Prospector.Evaluate.accuracy;
+          ];
+          [
+            budget;
+            1.;
+            Prospector.Evaluate.total_per_run_mj up;
+            100. *. up.Prospector.Evaluate.accuracy;
+          ];
+        ])
+      fractions
+  in
+  [
+    Series.make ~title:"Ablation: rounding the fractional LP+LF bandwidths"
+      ~columns:[ "budget_mJ"; "scheme"; "energy_mJ"; "accuracy_%" ]
+      ~notes:
+        [
+          "scheme 0 = round at 1/2 (the paper's), 1 = ceiling";
+          "same fractional solution rounded both ways, contention workload";
+        ]
+      rows;
+  ]

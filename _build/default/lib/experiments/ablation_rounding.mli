@@ -1,0 +1,7 @@
+(** Ablation: LP rounding schemes.  The same fractional LP+LF solution is
+    rounded with the paper's round-at-1/2 rule and with ceiling rounding;
+    nearest rounding tracks the budget faithfully while ceiling buys a
+    little accuracy for measurable extra energy (and is what proof plans
+    require — see DESIGN.md). *)
+
+val run : ?quick:bool -> seed:int -> unit -> Series.t list

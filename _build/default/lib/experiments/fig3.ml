@@ -1,0 +1,51 @@
+let run ?(quick = false) ~seed () =
+  let n = if quick then 50 else 100 in
+  let k = if quick then 10 else 20 in
+  let n_samples = if quick then 15 else 30 in
+  let n_test = if quick then 10 else 30 in
+  let s = Setup.uniform_gaussian ~seed ~n ~k ~n_samples ~n_test () in
+  let anchor = Planner_eval.naive_k_cost s in
+  let fractions =
+    if quick then [ 0.05; 0.1; 0.2; 0.35; 0.5 ]
+    else [ 0.03; 0.06; 0.1; 0.15; 0.2; 0.3; 0.4; 0.55; 0.7 ]
+  in
+  let sweep name plan_at =
+    Series.make
+      ~title:(Printf.sprintf "Figure 3: %s (accuracy vs energy)" name)
+      ~columns:[ "budget_mJ"; "energy_mJ"; "accuracy_%" ]
+      (List.map
+         (fun f ->
+           let budget = f *. anchor in
+           let p = plan_at ~budget in
+           [
+             budget;
+             Prospector.Evaluate.total_per_run_mj p;
+             100. *. p.Prospector.Evaluate.accuracy;
+           ])
+         fractions)
+  in
+  let baseline name point_at =
+    let ks =
+      List.filter (fun k' -> k' >= 1) (List.map (fun f -> int_of_float (f *. float_of_int k)) [ 0.25; 0.5; 0.75; 1.0 ])
+    in
+    Series.make
+      ~title:(Printf.sprintf "Figure 3: %s (fetching k' of %d)" name k)
+      ~columns:[ "k_fetched"; "energy_mJ"; "accuracy_%" ]
+      (List.map
+         (fun k' ->
+           let p = point_at ~k:k' in
+           [
+             float_of_int k';
+             Prospector.Evaluate.total_per_run_mj p;
+             100. *. p.Prospector.Evaluate.accuracy;
+           ])
+         (List.sort_uniq compare ks))
+  in
+  [
+    sweep "GREEDY" (fun ~budget -> Planner_eval.greedy s ~budget);
+    sweep "LP-LF" (fun ~budget -> Planner_eval.lp_no_lf s ~budget);
+    sweep "LP+LF" (fun ~budget -> Planner_eval.lp_lf s ~budget);
+    baseline "ORACLE" (fun ~k -> Planner_eval.oracle s ~k);
+    baseline "NAIVE-k" (fun ~k -> Planner_eval.naive_k s ~k);
+    baseline "NAIVE-1" (fun ~k -> Planner_eval.naive_one s ~k);
+  ]

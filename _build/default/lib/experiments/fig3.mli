@@ -1,0 +1,6 @@
+(** Figure 3 — "Comparison of algorithms": accuracy vs energy for ORACLE,
+    LP+LF, LP-LF, GREEDY and NAIVE-k on the synthetic independent-Gaussian
+    workload.  Approximate planners sweep the energy budget; exact
+    baselines sweep how many of the top-k values they fetch. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Series.t list

@@ -1,0 +1,40 @@
+let run ?(quick = false) ~seed () =
+  let n = if quick then 50 else 80 in
+  let k = if quick then 8 else 15 in
+  let n_samples = if quick then 12 else 25 in
+  let n_test = if quick then 8 else 20 in
+  let sigmas =
+    if quick then [ 0.25; 1.; 4.; 10. ]
+    else [ 0.25; 0.5; 1.; 2.; 4.; 7.; 10.; 14. ]
+  in
+  (* Fix the budget from the lowest-variance instance: enough for LP+LF to
+     be near-exact there (the paper's protocol). *)
+  let setup_for sigma =
+    Setup.uniform_gaussian ~seed ~n ~k ~n_samples ~n_test ~mean_lo:20.
+      ~mean_hi:26. ~sigma_lo:(0.75 *. sigma) ~sigma_hi:(1.25 *. sigma) ()
+  in
+  let base = setup_for (List.hd sigmas) in
+  let budget = 0.3 *. Planner_eval.naive_k_cost base in
+  let rows =
+    List.map
+      (fun sigma ->
+        let s = setup_for sigma in
+        let lf = Planner_eval.lp_lf s ~budget in
+        let no_lf = Planner_eval.lp_no_lf s ~budget in
+        [
+          sigma *. sigma;
+          100. *. lf.Prospector.Evaluate.accuracy;
+          100. *. no_lf.Prospector.Evaluate.accuracy;
+        ])
+      sigmas
+  in
+  [
+    Series.make ~title:"Figure 4: effect of variance (fixed energy budget)"
+      ~columns:[ "variance"; "LP+LF_acc_%"; "LP-LF_acc_%" ]
+      ~notes:
+        [
+          Printf.sprintf "budget fixed at %.1f mJ" budget;
+          "LP+LF should degrade more slowly as variance rises";
+        ]
+      rows;
+  ]

@@ -1,0 +1,6 @@
+(** Figure 4 — "Effect of variance": LP+LF vs LP-LF accuracy as per-node
+    variance grows from "top-k fully predictable" to "all nodes equally
+    likely".  The energy budget is fixed at a level where LP+LF is nearly
+    perfect under negligible variance. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Series.t list

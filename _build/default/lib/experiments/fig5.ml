@@ -1,0 +1,46 @@
+let run ?(quick = false) ~seed () =
+  let k = if quick then 5 else 10 in
+  let per_zone = 2 * k in
+  let n_zones = 6 in
+  let background = if quick then 30 else 60 in
+  let n_samples = if quick then 12 else 25 in
+  let n_test = if quick then 8 else 20 in
+  let s =
+    Setup.contention ~seed ~n_zones ~per_zone ~background ~k ~n_samples
+      ~n_test ()
+  in
+  let anchor = Planner_eval.naive_k_cost s in
+  let fractions =
+    if quick then [ 0.1; 0.2; 0.35; 0.55 ]
+    else [ 0.05; 0.1; 0.15; 0.25; 0.35; 0.5; 0.65; 0.8 ]
+  in
+  let sweep name plan_at =
+    Series.make
+      ~title:(Printf.sprintf "Figure 5: %s on contention zones" name)
+      ~columns:[ "budget_mJ"; "energy_mJ"; "accuracy_%" ]
+      (List.map
+         (fun f ->
+           let budget = f *. anchor in
+           let p = plan_at ~budget in
+           [
+             budget;
+             Prospector.Evaluate.total_per_run_mj p;
+             100. *. p.Prospector.Evaluate.accuracy;
+           ])
+         fractions)
+  in
+  [
+    Series.make ~title:"Figure 6: contention-zone layout"
+      ~columns:[ "zones"; "nodes_per_zone"; "background"; "total_nodes" ]
+      ~notes:[ "zones spaced around the perimeter, root at the center" ]
+      [
+        [
+          float_of_int n_zones;
+          float_of_int per_zone;
+          float_of_int background;
+          float_of_int (Sensor.Placement.n s.Setup.layout);
+        ];
+      ];
+    sweep "LP+LF" (fun ~budget -> Planner_eval.lp_lf s ~budget);
+    sweep "LP-LF" (fun ~budget -> Planner_eval.lp_no_lf s ~budget);
+  ]

@@ -1,0 +1,6 @@
+(** Figures 5 & 6 — "Contention zones": accuracy vs energy for LP+LF and
+    LP-LF on the negatively-correlated workload (six zones of candidates
+    around the perimeter, Figure 6's layout).  Local filtering should win
+    decisively here. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Series.t list

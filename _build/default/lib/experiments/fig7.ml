@@ -1,0 +1,36 @@
+let run ?(quick = false) ~seed () =
+  let k = if quick then 5 else 10 in
+  let per_zone = 2 * k in
+  let background = if quick then 30 else 60 in
+  let n_samples = if quick then 12 else 25 in
+  let n_test = if quick then 8 else 20 in
+  let zone_counts = if quick then [ 1; 3; 6 ] else [ 1; 2; 3; 4; 5; 6 ] in
+  (* Fix the budget at the level that separates LP+LF from LP-LF in the
+     six-zone experiment (the paper's protocol). *)
+  let base =
+    Setup.contention ~seed ~n_zones:6 ~per_zone ~background ~k ~n_samples
+      ~n_test ()
+  in
+  let budget = 0.25 *. Planner_eval.naive_k_cost base in
+  let rows =
+    List.map
+      (fun n_zones ->
+        let s =
+          Setup.contention ~seed ~n_zones ~per_zone ~background ~k ~n_samples
+            ~n_test ()
+        in
+        let lf = Planner_eval.lp_lf s ~budget in
+        let no_lf = Planner_eval.lp_no_lf s ~budget in
+        [
+          float_of_int n_zones;
+          100. *. lf.Prospector.Evaluate.accuracy;
+          100. *. no_lf.Prospector.Evaluate.accuracy;
+        ])
+      zone_counts
+  in
+  [
+    Series.make ~title:"Figure 7: varying the number of contention zones"
+      ~columns:[ "zones"; "LP+LF_acc_%"; "LP-LF_acc_%" ]
+      ~notes:[ Printf.sprintf "budget fixed at %.1f mJ" budget ]
+      rows;
+  ]

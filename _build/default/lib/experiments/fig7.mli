@@ -1,0 +1,5 @@
+(** Figure 7 — "Varying the number of contention zones": accuracy of LP+LF
+    and LP-LF at a fixed energy budget as zones go from 1 to 6; both
+    degrade, LP-LF faster (each zone it enters costs a full acquisition). *)
+
+val run : ?quick:bool -> seed:int -> unit -> Series.t list

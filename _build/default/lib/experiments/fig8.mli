@@ -1,0 +1,7 @@
+(** Figure 8 — "PROSPECTOR-EXACT": phase-1/phase-2 cost breakdown across
+    trial instances that allocate increasing energy to the proof-carrying
+    first phase, against the NAIVE-k and ORACLE-PROOF exact baselines.
+    Too little phase-1 energy forces an expensive mop-up; too much
+    over-fetches; the optimum sits in the middle. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Series.t list

@@ -1,0 +1,44 @@
+let run ?(quick = false) ~seed () =
+  let k = 10 in
+  let n_samples = if quick then 30 else 100 in
+  let n_test = if quick then 15 else 50 in
+  let s = Setup.intel_lab ~seed ~k ~n_samples ~n_test () in
+  let anchor = Planner_eval.naive_k_cost s in
+  let fractions =
+    if quick then [ 0.08; 0.15; 0.3; 0.5 ]
+    else [ 0.04; 0.08; 0.12; 0.18; 0.25; 0.35; 0.5; 0.65 ]
+  in
+  let sweep name plan_at =
+    Series.make
+      ~title:(Printf.sprintf "Figure 9: %s on Intel-lab-style data" name)
+      ~columns:[ "budget_mJ"; "energy_mJ"; "accuracy_%" ]
+      (List.map
+         (fun f ->
+           let budget = f *. anchor in
+           let p = plan_at ~budget in
+           [
+             budget;
+             Prospector.Evaluate.total_per_run_mj p;
+             100. *. p.Prospector.Evaluate.accuracy;
+           ])
+         fractions)
+  in
+  let naive = Planner_eval.naive_k s ~k in
+  [
+    sweep "GREEDY" (fun ~budget -> Planner_eval.greedy s ~budget);
+    sweep "LP-LF" (fun ~budget -> Planner_eval.lp_no_lf s ~budget);
+    sweep "LP+LF" (fun ~budget -> Planner_eval.lp_lf s ~budget);
+    Series.make ~title:"Figure 9: NAIVE-k reference"
+      ~columns:[ "energy_mJ"; "accuracy_%" ]
+      ~notes:
+        [
+          "LP+LF and LP-LF should be nearly identical on this dataset";
+          "the approximate planners should reach ~100% far below NAIVE-k's cost";
+        ]
+      [
+        [
+          Prospector.Evaluate.total_per_run_mj naive;
+          100. *. naive.Prospector.Evaluate.accuracy;
+        ];
+      ];
+  ]

@@ -1,0 +1,6 @@
+(** Figure 9 — "Intel Lab data": GREEDY vs LP-LF on the lab temperature
+    workload (LP+LF is also run to confirm the paper's observation that it
+    matches LP-LF here: the hot spots are so predictable that local
+    filtering has nothing to add). *)
+
+val run : ?quick:bool -> seed:int -> unit -> Series.t list

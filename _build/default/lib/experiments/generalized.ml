@@ -1,0 +1,101 @@
+let run ?(quick = false) ~seed () =
+  let n = if quick then 50 else 90 in
+  let s =
+    Setup.uniform_gaussian ~seed ~n ~k:10
+      ~n_samples:(if quick then 12 else 25)
+      ~n_test:(if quick then 10 else 25)
+      ()
+  in
+  let anchor = Planner_eval.naive_k_cost s in
+  let fractions =
+    if quick then [ 0.1; 0.25; 0.5 ] else [ 0.05; 0.1; 0.2; 0.35; 0.5; 0.75 ]
+  in
+  let training = s.Setup.samples.Sampling.Sample_set.values in
+  (* Selection: readings above the samples' 85th percentile. *)
+  let threshold =
+    let pool = Array.concat (Array.to_list training) in
+    Sampling.Stats.percentile pool 0.85
+  in
+  let selection = Sampling.Answers.selection ~threshold training in
+  let selection_rows =
+    List.map
+      (fun f ->
+        let budget = f *. anchor in
+        let r =
+          Prospector.Subset_planner.plan s.Setup.topo s.Setup.cost selection
+            ~budget
+        in
+        let recalls, costs =
+          Array.fold_left
+            (fun (rs, cs) readings ->
+              let o =
+                Prospector.Subset_exec.collect s.Setup.topo s.Setup.cost
+                  ~chosen:r.Prospector.Subset_planner.chosen ~readings
+              in
+              let truth = ref [] in
+              Array.iteri
+                (fun i v -> if v > threshold then truth := i :: !truth)
+                readings;
+              ( rs
+                +. Prospector.Subset_exec.recall
+                     ~truth:(Array.of_list !truth)
+                     o.Prospector.Subset_exec.received,
+                cs +. o.Prospector.Subset_exec.collection_mj ))
+            (0., 0.) s.Setup.test_epochs
+        in
+        let d = float_of_int (Array.length s.Setup.test_epochs) in
+        [ budget; costs /. d; 100. *. recalls /. d ])
+      fractions
+  in
+  (* Quantile: estimate the network median from the shipped subset. *)
+  let quantile = Sampling.Answers.quantile ~phi:0.5 ~window:3 training in
+  let quantile_rows =
+    List.map
+      (fun f ->
+        let budget = f *. anchor in
+        let r =
+          Prospector.Subset_planner.plan s.Setup.topo s.Setup.cost quantile
+            ~budget
+        in
+        let errs, costs =
+          Array.fold_left
+            (fun (es, cs) readings ->
+              let o =
+                Prospector.Subset_exec.collect s.Setup.topo s.Setup.cost
+                  ~chosen:r.Prospector.Subset_planner.chosen ~readings
+              in
+              let truth =
+                Sampling.Stats.percentile readings 0.5
+              in
+              let err =
+                match
+                  Prospector.Subset_exec.quantile_estimate ~phi:0.5
+                    o.Prospector.Subset_exec.received
+                with
+                | Some est -> Float.abs (est -. truth)
+                | None -> Float.abs truth
+              in
+              (es +. err, cs +. o.Prospector.Subset_exec.collection_mj))
+            (0., 0.) s.Setup.test_epochs
+        in
+        let d = float_of_int (Array.length s.Setup.test_epochs) in
+        [ budget; costs /. d; errs /. d ])
+      fractions
+  in
+  [
+    Series.make
+      ~title:"Generalization: selection query (recall of readings above threshold)"
+      ~columns:[ "budget_mJ"; "energy_mJ"; "recall_%" ]
+      ~notes:
+        [
+          Printf.sprintf "threshold %.2f (85th percentile of training data)"
+            threshold;
+          Printf.sprintf "NAIVE full collection costs %.1f mJ" anchor;
+        ]
+      selection_rows;
+    Series.make
+      ~title:"Generalization: median query (absolute estimation error)"
+      ~columns:[ "budget_mJ"; "energy_mJ"; "abs_error" ]
+      ~notes:[ "plans target a +/-3 rank window around the median" ]
+      quantile_rows;
+  ]

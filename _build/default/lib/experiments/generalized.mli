@@ -1,0 +1,6 @@
+(** Extension experiment (Section 3's generalization remark): plan
+    selection and quantile queries with the same sampling + LP machinery.
+    Reports recall vs budget for a selection query and quantile estimation
+    error vs budget, against a ship-everything baseline. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Series.t list

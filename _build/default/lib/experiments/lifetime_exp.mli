@@ -1,0 +1,7 @@
+(** Extension: network lifetime.  The paper motivates energy saving through
+    lifetime; this experiment turns per-node energy profiles (from the
+    discrete-event simulator) into executions-until-first-death for
+    NAIVE-k-style full collection vs a PROSPECTOR-LP+LF plan, and reports
+    the bottleneck node. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Series.t list

@@ -1,0 +1,8 @@
+(** Extension (Section 3): samples may come from history {e or} from an
+    explicit model.  On a spatially-correlated Gaussian field, LP+LF plans
+    built from (a) historical epochs, (b) samples drawn from a model fitted
+    to those epochs, and (c) samples from the true model are compared at
+    equal sample counts — the sampling-based planner should be indifferent
+    to the samples' provenance. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Series.t list

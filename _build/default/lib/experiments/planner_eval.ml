@@ -1,0 +1,67 @@
+open Prospector
+
+let greedy (s : Setup.t) ~budget =
+  let plan = Greedy.plan s.Setup.topo s.Setup.cost s.Setup.samples ~budget in
+  Evaluate.approx s.Setup.topo s.Setup.cost s.Setup.mica plan ~k:s.Setup.k
+    ~epochs:s.Setup.test_epochs
+
+let lp_no_lf (s : Setup.t) ~budget =
+  let r = Lp_no_lf.plan s.Setup.topo s.Setup.cost s.Setup.samples ~budget in
+  Evaluate.approx s.Setup.topo s.Setup.cost s.Setup.mica r.Lp_no_lf.plan
+    ~k:s.Setup.k ~epochs:s.Setup.test_epochs
+
+let lp_lf (s : Setup.t) ~budget =
+  let r =
+    Lp_lf.plan s.Setup.topo s.Setup.cost s.Setup.samples ~budget ~k:s.Setup.k
+  in
+  Evaluate.approx s.Setup.topo s.Setup.cost s.Setup.mica r.Lp_lf.plan
+    ~k:s.Setup.k ~epochs:s.Setup.test_epochs
+
+(* Baselines asked for only k' of the k values answer a k'-query; their
+   accuracy against the true top k is measured, not assumed. *)
+let partial_accuracy (s : Setup.t) ~k_fetched =
+  let accs =
+    Array.map
+      (fun readings ->
+        let top = Exec.true_top_k ~k:k_fetched readings in
+        Exec.accuracy ~k:s.Setup.k ~readings top)
+      s.Setup.test_epochs
+  in
+  Array.fold_left ( +. ) 0. accs /. float_of_int (Array.length accs)
+
+let with_accuracy point accuracy = { point with Evaluate.accuracy }
+
+let naive_k (s : Setup.t) ~k =
+  let p =
+    Evaluate.naive_k s.Setup.topo s.Setup.cost s.Setup.mica ~k
+      ~epochs:s.Setup.test_epochs
+  in
+  with_accuracy p (partial_accuracy s ~k_fetched:k)
+
+let naive_one (s : Setup.t) ~k =
+  let p =
+    Evaluate.naive_one s.Setup.topo s.Setup.cost ~k ~epochs:s.Setup.test_epochs
+  in
+  with_accuracy p (partial_accuracy s ~k_fetched:k)
+
+let oracle (s : Setup.t) ~k =
+  let p =
+    Evaluate.oracle s.Setup.topo s.Setup.cost s.Setup.mica ~k
+      ~epochs:s.Setup.test_epochs
+  in
+  with_accuracy p (partial_accuracy s ~k_fetched:k)
+
+let oracle_proof (s : Setup.t) =
+  Evaluate.oracle_proof s.Setup.topo s.Setup.cost s.Setup.mica ~k:s.Setup.k
+    ~epochs:s.Setup.test_epochs
+
+let exact (s : Setup.t) ~budget =
+  let r =
+    Lp_proof.plan s.Setup.topo s.Setup.cost s.Setup.samples ~budget
+      ~k:s.Setup.k
+  in
+  Evaluate.exact s.Setup.topo s.Setup.cost s.Setup.mica r.Lp_proof.plan
+    ~k:s.Setup.k ~epochs:s.Setup.test_epochs
+
+let naive_k_cost (s : Setup.t) =
+  Evaluate.total_per_run_mj (naive_k s ~k:s.Setup.k)

@@ -1,0 +1,68 @@
+(* Accuracy as a function of how many samples the planner sees.  For each
+   count the plan is built from several disjoint slices of a large sample
+   pool and the accuracies averaged, so the curve reflects the count, not
+   which particular samples landed in the prefix. *)
+
+let sweep name (full : Setup.t) counts budget =
+  let total = Sampling.Sample_set.n_samples full.Setup.samples in
+  let rows =
+    List.map
+      (fun count ->
+        let offsets =
+          if count >= total then [ 0 ]
+          else
+            let span = total - count in
+            [ 0; span / 2; span ] |> List.sort_uniq compare
+        in
+        let accs =
+          List.map
+            (fun offset ->
+              let s =
+                Setup.replan_samples full
+                  (Sampling.Sample_set.slice full.Setup.samples ~offset ~count)
+              in
+              (Planner_eval.lp_lf s ~budget).Prospector.Evaluate.accuracy)
+            offsets
+        in
+        let mean =
+          List.fold_left ( +. ) 0. accs /. float_of_int (List.length accs)
+        in
+        [ float_of_int count; 100. *. mean ])
+      counts
+  in
+  Series.make
+    ~title:(Printf.sprintf "Sample-size impact: LP+LF on %s" name)
+    ~columns:[ "samples"; "accuracy_%" ]
+    ~notes:
+      [
+        Printf.sprintf "budget fixed at %.1f mJ" budget;
+        "each point averages plans built from up to 3 disjoint sample slices";
+      ]
+    rows
+
+let run ?(quick = false) ~seed () =
+  let counts =
+    if quick then [ 1; 3; 10; 25 ] else [ 1; 2; 3; 5; 10; 15; 25; 40; 50 ]
+  in
+  let max_count = List.fold_left Int.max 1 counts in
+  let pool = 2 * max_count in
+  let synth =
+    Setup.uniform_gaussian ~seed
+      ~n:(if quick then 40 else 80)
+      ~sigma_lo:1. ~sigma_hi:3.
+      ~k:(if quick then 8 else 15)
+      ~n_samples:pool
+      ~n_test:(if quick then 8 else 20)
+      ()
+  in
+  let lab =
+    Setup.intel_lab ~seed ~k:10 ~n_samples:pool
+      ~n_test:(if quick then 10 else 30)
+      ()
+  in
+  [
+    sweep "synthetic Gaussians" synth counts
+      (0.3 *. Planner_eval.naive_k_cost synth);
+    sweep "Intel-lab-style data" lab counts
+      (0.25 *. Planner_eval.naive_k_cost lab);
+  ]

@@ -1,0 +1,6 @@
+(** "Other results" — impact of the sample-set size: accuracy of LP+LF as
+    the number of training samples grows.  A single sample plans poorly;
+    accuracy climbs steeply to a handful of samples and levels out by a few
+    dozen, on both the synthetic and lab workloads. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Series.t list

@@ -1,0 +1,3 @@
+let run () =
+  Format.printf "@.== Table (Section 2): MICA2 energy constants ==@.%a@.@."
+    Sensor.Mica2.pp Sensor.Mica2.default

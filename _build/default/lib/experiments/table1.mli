@@ -1,0 +1,5 @@
+(** Section 2's table of MICA2 energy constants, printed from the model the
+    whole repository computes with. *)
+
+val run : unit -> unit
+(** Print the table to stdout. *)

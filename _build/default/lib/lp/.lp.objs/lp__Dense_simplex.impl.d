@@ -1,0 +1,1 @@
+lib/lp/dense_simplex.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/lp/model.ml: Array Dense_simplex Float Format List Presolve Problem Revised Sparse_vec

@@ -1,0 +1,1 @@
+lib/lp/problem.ml: Array Float Printf Sparse_vec

@@ -1,0 +1,1 @@
+lib/lp/revised.ml: Array Float Format List Logs Lu Problem Sparse_vec

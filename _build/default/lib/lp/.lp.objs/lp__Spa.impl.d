@@ -1,0 +1,1 @@
+lib/lp/spa.ml: Array Float List Sparse_vec

@@ -1,0 +1,1 @@
+lib/lp/spa.mli: Sparse_vec

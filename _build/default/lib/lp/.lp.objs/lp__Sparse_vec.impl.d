@@ -1,0 +1,1 @@
+lib/lp/sparse_vec.ml: Array Float Format List

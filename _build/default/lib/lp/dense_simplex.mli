@@ -1,0 +1,26 @@
+(** Dense two-phase tableau simplex over non-negative variables.
+
+    A deliberately independent reference implementation used to cross-check
+    the sparse {!Revised} solver in tests, and to solve small problems.  All
+    variables are implicitly constrained to [x >= 0]; upper bounds must be
+    materialized as explicit rows by the caller.  Bland's rule is used
+    throughout, so the method always terminates. *)
+
+type sense = Le | Ge | Eq
+
+type status = Optimal | Infeasible | Unbounded
+
+type result = {
+  status : status;
+  x : float array;  (** variable values at the optimum *)
+  objective : float;
+}
+
+val solve :
+  ?maximize:bool ->
+  obj:float array ->
+  constraints:(float array * sense * float) array ->
+  unit ->
+  result
+(** [solve ~obj ~constraints ()] optimizes [obj . x] subject to the given
+    dense rows and [x >= 0].  Default is minimization. *)

@@ -1,0 +1,75 @@
+let sanitize name idx =
+  let buf = Buffer.create (String.length name + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  let base = Buffer.contents buf in
+  let base = if base = "" || (base.[0] >= '0' && base.[0] <= '9') then "v" ^ base else base in
+  Printf.sprintf "%s_%d" base idx
+
+let term_string names terms =
+  match terms with
+  | [] -> "0"
+  | _ ->
+      String.concat " "
+        (List.mapi
+           (fun pos (c, v) ->
+             let sign, mag =
+               if c >= 0. then ((if pos = 0 then "" else "+ "), c)
+               else ("- ", -.c)
+             in
+             Printf.sprintf "%s%.12g %s" sign mag names.(Model.var_index v))
+           terms)
+
+let to_buffer buf model =
+  let n = Model.n_vars model in
+  let names =
+    Array.init n (fun j -> sanitize (Model.var_name model (Model.var_of_index model j)) j)
+  in
+  Buffer.add_string buf
+    (match Model.direction model with
+    | Model.Minimize -> "Minimize\n obj: "
+    | Model.Maximize -> "Maximize\n obj: ");
+  let obj_terms =
+    List.filter (fun (c, _) -> c <> 0.)
+      (List.init n (fun j ->
+         let v = Model.var_of_index model j in
+         (Model.obj_coeff model v, v)))
+  in
+  Buffer.add_string buf (term_string names obj_terms);
+  Buffer.add_string buf "\nSubject To\n";
+  let row = ref 0 in
+  Model.iter_constraints model (fun ~name terms sense rhs ->
+      let label = if name = "" then Printf.sprintf "c%d" !row else sanitize name !row in
+      incr row;
+      let op =
+        match sense with Model.Le -> "<=" | Model.Ge -> ">=" | Model.Eq -> "="
+      in
+      Buffer.add_string buf
+        (Printf.sprintf " %s: %s %s %.12g\n" label (term_string names terms) op
+           rhs));
+  Buffer.add_string buf "Bounds\n";
+  for j = 0 to n - 1 do
+    let lo, hi = Model.var_bounds model (Model.var_of_index model j) in
+    let line =
+      match (lo = neg_infinity, hi = infinity) with
+      | true, true -> Printf.sprintf " %s free\n" names.(j)
+      | true, false -> Printf.sprintf " -inf <= %s <= %.12g\n" names.(j) hi
+      | false, true ->
+          if lo = 0. then "" (* the LP-format default *)
+          else Printf.sprintf " %s >= %.12g\n" names.(j) lo
+      | false, false -> Printf.sprintf " %.12g <= %s <= %.12g\n" lo names.(j) hi
+    in
+    Buffer.add_string buf line
+  done;
+  Buffer.add_string buf "End\n"
+
+let to_string model =
+  let buf = Buffer.create 4096 in
+  to_buffer buf model;
+  Buffer.contents buf
+
+let to_channel oc model = output_string oc (to_string model)

@@ -1,0 +1,9 @@
+(** Export models in the CPLEX LP text format, for debugging planning
+    programs with external solvers or by eye.  Only the subset needed for
+    our problems is emitted (objective, constraints, bounds). *)
+
+val to_string : Model.t -> string
+(** Render the model.  Variable names are sanitized ([a-zA-Z0-9_] only,
+    uniquified by index); constraints are named [c0, c1, ...]. *)
+
+val to_channel : out_channel -> Model.t -> unit

@@ -1,0 +1,287 @@
+(* Gaussian elimination on a hash-based sparse working matrix.
+   Invariants maintained during elimination:
+   - [values] holds exactly the non-zero entries of the remaining (active)
+     submatrix, keyed by [row * dim + col];
+   - [row_set.(r)] / [col_set.(c)] are the active column/row index sets of
+     row [r] / column [c], consistent with [values];
+   - eliminated rows and columns are absent from all three structures. *)
+
+type step = {
+  pivot_row : int;
+  pivot_col : int;
+  pivot_val : float;
+  (* Multipliers of the L factor: row_r <- row_r -. f *. row_{pivot_row}. *)
+  l_rows : int array;
+  l_factors : float array;
+  (* Remaining entries of the pivot row (the U row), pivot excluded. *)
+  u_cols : int array;
+  u_vals : float array;
+}
+
+type t = {
+  dim : int;
+  steps : step array;
+  (* For the transpose solve: [u_by_step.(k)] lists [(j, v)] with [j < k]
+     such that U has entry [v] at (row of step j, pivot column of step k). *)
+  u_by_step : (int * float) array array;
+}
+
+exception Singular of int
+
+let drop_tol = 1e-13
+let abs_pivot_tol = 1e-11
+let threshold = 0.01
+
+let key dim r c = (r * dim) + c
+
+let factor ~dim cols =
+  if Array.length cols <> dim then invalid_arg "Lu.factor: column count";
+  let values : (int, float) Hashtbl.t = Hashtbl.create (dim * 4) in
+  let row_set = Array.init dim (fun _ -> Hashtbl.create 4) in
+  let col_set = Array.init dim (fun _ -> Hashtbl.create 4) in
+  let insert r c v =
+    Hashtbl.replace values (key dim r c) v;
+    Hashtbl.replace row_set.(r) c ();
+    Hashtbl.replace col_set.(c) r ()
+  in
+  let remove r c =
+    Hashtbl.remove values (key dim r c);
+    Hashtbl.remove row_set.(r) c;
+    Hashtbl.remove col_set.(c) r
+  in
+  Array.iteri
+    (fun c v -> Sparse_vec.iter (fun r x -> insert r c x) v)
+    cols;
+  let row_active = Array.make dim true in
+  let col_active = Array.make dim true in
+  (* Stacks of candidate singleton rows/columns; entries are revalidated
+     when popped, so stale entries are harmless. *)
+  let singleton_cols = ref [] in
+  let singleton_rows = ref [] in
+  for i = 0 to dim - 1 do
+    if Hashtbl.length col_set.(i) = 1 then
+      singleton_cols := i :: !singleton_cols;
+    if Hashtbl.length row_set.(i) = 1 then
+      singleton_rows := i :: !singleton_rows
+  done;
+  let col_max c =
+    Hashtbl.fold
+      (fun r () acc ->
+        let a = Float.abs (Hashtbl.find values (key dim r c)) in
+        if a > acc then a else acc)
+      col_set.(c) 0.
+  in
+  (* Pop a valid singleton column (count 1, acceptable pivot magnitude). *)
+  let rec pop_singleton_col () =
+    match !singleton_cols with
+    | [] -> None
+    | c :: rest ->
+        singleton_cols := rest;
+        if col_active.(c) && Hashtbl.length col_set.(c) = 1 then begin
+          let r = Hashtbl.fold (fun r () _ -> r) col_set.(c) (-1) in
+          let v = Hashtbl.find values (key dim r c) in
+          if Float.abs v > abs_pivot_tol then Some (r, c, v)
+          else pop_singleton_col ()
+        end
+        else pop_singleton_col ()
+  in
+  let rec pop_singleton_row () =
+    match !singleton_rows with
+    | [] -> None
+    | r :: rest ->
+        singleton_rows := rest;
+        if row_active.(r) && Hashtbl.length row_set.(r) = 1 then begin
+          let c = Hashtbl.fold (fun c () _ -> c) row_set.(r) (-1) in
+          let v = Hashtbl.find values (key dim r c) in
+          (* A row singleton must still respect threshold pivoting within
+             its column to bound element growth. *)
+          if
+            Float.abs v > abs_pivot_tol
+            && Float.abs v >= threshold *. col_max c
+          then Some (r, c, v)
+          else pop_singleton_row ()
+        end
+        else pop_singleton_row ()
+  in
+  (* Full Markowitz scan: minimize (row_count-1)*(col_count-1) over entries
+     with acceptable magnitude.  Only used when no singleton exists. *)
+  let markowitz_scan step =
+    let best = ref None in
+    let best_cost = ref max_int in
+    for c = 0 to dim - 1 do
+      if col_active.(c) then begin
+        let cc = Hashtbl.length col_set.(c) in
+        if cc > 0 && (cc - 1) < !best_cost then begin
+          let cmax = col_max c in
+          Hashtbl.iter
+            (fun r () ->
+              let rc = Hashtbl.length row_set.(r) in
+              let cost = (rc - 1) * (cc - 1) in
+              if cost < !best_cost then begin
+                let v = Hashtbl.find values (key dim r c) in
+                if
+                  Float.abs v > abs_pivot_tol
+                  && Float.abs v >= threshold *. cmax
+                then begin
+                  best := Some (r, c, v);
+                  best_cost := cost
+                end
+              end)
+            col_set.(c)
+        end
+      end
+    done;
+    match !best with
+    | Some pivot -> pivot
+    | None -> raise (Singular step)
+  in
+  let steps = Array.make dim None in
+  for k = 0 to dim - 1 do
+    let r_hat, c_hat, v_hat =
+      match pop_singleton_col () with
+      | Some p -> p
+      | None -> (
+          match pop_singleton_row () with
+          | Some p -> p
+          | None -> markowitz_scan k)
+    in
+    (* Snapshot the pivot row (U row), pivot excluded. *)
+    let u_entries = ref [] in
+    Hashtbl.iter
+      (fun c () ->
+        if c <> c_hat then
+          u_entries := (c, Hashtbl.find values (key dim r_hat c)) :: !u_entries)
+      row_set.(r_hat);
+    let u_entries = !u_entries in
+    (* Eliminate every other row having an entry in the pivot column. *)
+    let elim_rows = ref [] in
+    Hashtbl.iter
+      (fun r () -> if r <> r_hat then elim_rows := r :: !elim_rows)
+      col_set.(c_hat);
+    let l_entries = ref [] in
+    List.iter
+      (fun r ->
+        let f = Hashtbl.find values (key dim r c_hat) /. v_hat in
+        l_entries := (r, f) :: !l_entries;
+        remove r c_hat;
+        List.iter
+          (fun (c, u) ->
+            let k' = key dim r c in
+            match Hashtbl.find_opt values k' with
+            | Some old ->
+                let next = old -. (f *. u) in
+                if Float.abs next <= drop_tol then begin
+                  remove r c;
+                  if Hashtbl.length col_set.(c) = 1 then
+                    singleton_cols := c :: !singleton_cols;
+                  if Hashtbl.length row_set.(r) = 1 then
+                    singleton_rows := r :: !singleton_rows
+                end
+                else Hashtbl.replace values k' next
+            | None ->
+                let next = -.f *. u in
+                if Float.abs next > drop_tol then insert r c next)
+          u_entries;
+        if Hashtbl.length row_set.(r) = 1 then
+          singleton_rows := r :: !singleton_rows)
+      !elim_rows;
+    (* Retire the pivot row and column. *)
+    List.iter
+      (fun (c, _) ->
+        remove r_hat c;
+        if Hashtbl.length col_set.(c) = 1 then
+          singleton_cols := c :: !singleton_cols)
+      u_entries;
+    remove r_hat c_hat;
+    row_active.(r_hat) <- false;
+    col_active.(c_hat) <- false;
+    let l_rows = Array.of_list (List.map fst !l_entries) in
+    let l_factors = Array.of_list (List.map snd !l_entries) in
+    let u_cols = Array.of_list (List.map fst u_entries) in
+    let u_vals = Array.of_list (List.map snd u_entries) in
+    steps.(k) <-
+      Some
+        {
+          pivot_row = r_hat;
+          pivot_col = c_hat;
+          pivot_val = v_hat;
+          l_rows;
+          l_factors;
+          u_cols;
+          u_vals;
+        }
+  done;
+  let steps =
+    Array.map
+      (function Some s -> s | None -> assert false)
+      steps
+  in
+  (* Index the U entries by the step at which their column is pivoted. *)
+  let step_of_col = Array.make dim (-1) in
+  Array.iteri (fun k s -> step_of_col.(s.pivot_col) <- k) steps;
+  let u_by_step = Array.make dim [] in
+  Array.iteri
+    (fun j s ->
+      Array.iteri
+        (fun p c ->
+          let k = step_of_col.(c) in
+          u_by_step.(k) <- (j, s.u_vals.(p)) :: u_by_step.(k))
+        s.u_cols)
+    steps;
+  { dim; steps; u_by_step = Array.map Array.of_list u_by_step }
+
+let dim t = t.dim
+
+let solve t b =
+  let n = t.dim in
+  let b = Array.copy b in
+  (* Forward: apply the recorded row operations to b. *)
+  for k = 0 to n - 1 do
+    let s = t.steps.(k) in
+    let br = b.(s.pivot_row) in
+    if br <> 0. then
+      for p = 0 to Array.length s.l_rows - 1 do
+        b.(s.l_rows.(p)) <- b.(s.l_rows.(p)) -. (s.l_factors.(p) *. br)
+      done
+  done;
+  (* Backward: solve U x = b in reverse pivot order. *)
+  let x = Array.make n 0. in
+  for k = n - 1 downto 0 do
+    let s = t.steps.(k) in
+    let acc = ref b.(s.pivot_row) in
+    for p = 0 to Array.length s.u_cols - 1 do
+      acc := !acc -. (s.u_vals.(p) *. x.(s.u_cols.(p)))
+    done;
+    x.(s.pivot_col) <- !acc /. s.pivot_val
+  done;
+  x
+
+let solve_transpose t c =
+  let n = t.dim in
+  let z = Array.make n 0. in
+  (* Forward: solve U^T z = c in pivot order. *)
+  for k = 0 to n - 1 do
+    let s = t.steps.(k) in
+    let acc = ref c.(s.pivot_col) in
+    let deps = t.u_by_step.(k) in
+    for p = 0 to Array.length deps - 1 do
+      let j, v = deps.(p) in
+      acc := !acc -. (v *. z.(t.steps.(j).pivot_row))
+    done;
+    z.(s.pivot_row) <- !acc /. s.pivot_val
+  done;
+  (* Backward: apply the transposed row operations in reverse. *)
+  for k = n - 1 downto 0 do
+    let s = t.steps.(k) in
+    let acc = ref 0. in
+    for p = 0 to Array.length s.l_rows - 1 do
+      acc := !acc +. (s.l_factors.(p) *. z.(s.l_rows.(p)))
+    done;
+    z.(s.pivot_row) <- z.(s.pivot_row) -. !acc
+  done;
+  z
+
+let fill_nnz t =
+  Array.fold_left
+    (fun acc s -> acc + 1 + Array.length s.l_rows + Array.length s.u_cols)
+    0 t.steps

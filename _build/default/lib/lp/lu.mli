@@ -1,0 +1,34 @@
+(** Sparse LU factorization of a basis matrix, for the revised simplex.
+
+    The matrix is given column-wise; columns are indexed by "slot"
+    [0 .. dim-1] and rows by [0 .. dim-1].  Factorization performs Gaussian
+    elimination with a Markowitz-flavoured pivot order (column/row
+    singletons first, then minimum fill-estimate with threshold pivoting),
+    which keeps fill-in low on the slack-heavy, near-triangular bases that
+    arise in the simplex method. *)
+
+type t
+
+exception Singular of int
+(** Raised by {!factor} when no acceptable pivot exists at the given
+    elimination step: the matrix is (numerically) singular. *)
+
+val factor : dim:int -> Sparse_vec.t array -> t
+(** [factor ~dim cols] factors the [dim] x [dim] matrix whose [p]-th column
+    is [cols.(p)].
+    @raise Singular if the matrix is singular.
+    @raise Invalid_argument if [Array.length cols <> dim]. *)
+
+val dim : t -> int
+
+val solve : t -> float array -> float array
+(** [solve t b] returns [x] with [B x = b].  [b] is indexed by row, [x] by
+    column slot.  [b] is not modified. *)
+
+val solve_transpose : t -> float array -> float array
+(** [solve_transpose t c] returns [y] with [B^T y = c].  [c] is indexed by
+    column slot, [y] by row.  [c] is not modified. *)
+
+val fill_nnz : t -> int
+(** Total number of non-zeros stored in the L and U factors (a measure of
+    fill-in). *)

@@ -1,0 +1,304 @@
+type var = int
+
+let var_index v = v
+
+type sense = Le | Ge | Eq
+
+type direction = Minimize | Maximize
+
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type row = { terms : (float * var) list; sense : sense; rhs : float; rname : string }
+
+type t = {
+  dir : direction;
+  mutable names : string list;  (* reversed *)
+  mutable lowers : float list;  (* reversed *)
+  mutable uppers : float list;  (* reversed *)
+  mutable objs : float array;   (* grown on demand *)
+  mutable nvars : int;
+  mutable rows : row list;      (* reversed *)
+  mutable nrows : int;
+}
+
+type solution = {
+  status : status;
+  objective : float;
+  values : float array;
+  stats : Revised.stats option;
+  row_duals : float array option;
+}
+
+let create ?(direction = Minimize) () =
+  {
+    dir = direction;
+    names = [];
+    lowers = [];
+    uppers = [];
+    objs = Array.make 16 0.;
+    nvars = 0;
+    rows = [];
+    nrows = 0;
+  }
+
+let direction t = t.dir
+
+let add_var t ?(lower = 0.) ?(upper = infinity) ?(obj = 0.) name =
+  if lower > upper then invalid_arg "Model.add_var: lower > upper";
+  let v = t.nvars in
+  t.names <- name :: t.names;
+  t.lowers <- lower :: t.lowers;
+  t.uppers <- upper :: t.uppers;
+  if v >= Array.length t.objs then begin
+    let bigger = Array.make (2 * (v + 1)) 0. in
+    Array.blit t.objs 0 bigger 0 (Array.length t.objs);
+    t.objs <- bigger
+  end;
+  t.objs.(v) <- obj;
+  t.nvars <- v + 1;
+  v
+
+let var_name t v = List.nth t.names (t.nvars - 1 - v)
+
+let set_obj t v c =
+  if v < 0 || v >= t.nvars then invalid_arg "Model.set_obj: unknown var";
+  t.objs.(v) <- c
+
+let add_constraint t ?(name = "") terms sense rhs =
+  List.iter
+    (fun (_, v) ->
+      if v < 0 || v >= t.nvars then
+        invalid_arg "Model.add_constraint: unknown var")
+    terms;
+  t.rows <- { terms; sense; rhs; rname = name } :: t.rows;
+  t.nrows <- t.nrows + 1
+
+let add_le t ?name terms rhs = add_constraint t ?name terms Le rhs
+let add_ge t ?name terms rhs = add_constraint t ?name terms Ge rhs
+let add_eq t ?name terms rhs = add_constraint t ?name terms Eq rhs
+
+let n_vars t = t.nvars
+let n_constraints t = t.nrows
+
+let var_of_index t j =
+  if j < 0 || j >= t.nvars then invalid_arg "Model.var_of_index: out of range";
+  j
+
+let var_bounds t v =
+  if v < 0 || v >= t.nvars then invalid_arg "Model.var_bounds: unknown var";
+  (List.nth t.lowers (t.nvars - 1 - v), List.nth t.uppers (t.nvars - 1 - v))
+
+let obj_coeff t v =
+  if v < 0 || v >= t.nvars then invalid_arg "Model.obj_coeff: unknown var";
+  t.objs.(v)
+
+let iter_constraints t f =
+  List.iter
+    (fun r -> f ~name:r.rname r.terms r.sense r.rhs)
+    (List.rev t.rows)
+
+let value sol v = sol.values.(v)
+
+(* ---- lowering to the revised solver's computational form ---- *)
+
+let to_problem t =
+  let n = t.nvars and m = t.nrows in
+  let rows = Array.of_list (List.rev t.rows) in
+  let lower = Array.make (n + m) 0. and upper = Array.make (n + m) 0. in
+  List.iteri (fun k l -> lower.(t.nvars - 1 - k) <- l) t.lowers;
+  List.iteri (fun k u -> upper.(t.nvars - 1 - k) <- u) t.uppers;
+  let obj = Array.make (n + m) 0. in
+  let sign = match t.dir with Minimize -> 1. | Maximize -> -1. in
+  for j = 0 to n - 1 do
+    obj.(j) <- sign *. t.objs.(j)
+  done;
+  (* One slack column per row: A x + s = rhs. *)
+  let col_entries = Array.make (n + m) [] in
+  let rhs = Array.make m 0. in
+  let hint = Array.make m (-1) in
+  Array.iteri
+    (fun i row ->
+      List.iter
+        (fun (c, v) -> col_entries.(v) <- (i, c) :: col_entries.(v))
+        row.terms;
+      rhs.(i) <- row.rhs;
+      let s = n + i in
+      col_entries.(s) <- [ (i, 1.) ];
+      hint.(i) <- s;
+      match row.sense with
+      | Le ->
+          lower.(s) <- 0.;
+          upper.(s) <- infinity
+      | Ge ->
+          lower.(s) <- neg_infinity;
+          upper.(s) <- 0.
+      | Eq ->
+          lower.(s) <- 0.;
+          upper.(s) <- 0.)
+    rows;
+  {
+    Problem.nrows = m;
+    ncols = n + m;
+    cols = Array.map Sparse_vec.of_assoc col_entries;
+    obj;
+    lower;
+    upper;
+    rhs;
+    basis_hint = Some hint;
+  }
+
+let objective_of t values =
+  let acc = ref 0. in
+  for j = 0 to t.nvars - 1 do
+    acc := !acc +. (t.objs.(j) *. values.(j))
+  done;
+  !acc
+
+let finish_revised t ?row_duals full_x status stats =
+  let values = Array.sub full_x 0 t.nvars in
+  { status; objective = objective_of t values; values; stats; row_duals }
+
+let map_status = function
+  | Revised.Optimal -> Optimal
+  | Revised.Infeasible -> Infeasible
+  | Revised.Unbounded -> Unbounded
+  | Revised.Iteration_limit -> Iteration_limit
+
+let solve_revised ?(presolve = false) ?max_iterations t =
+  let prob = to_problem t in
+  if not presolve then begin
+    let res = Revised.solve ?max_iterations prob in
+    (* Internal duals are for the minimized objective; convert to the
+       model's direction. *)
+    let sign = match t.dir with Minimize -> 1. | Maximize -> -1. in
+    let row_duals = Array.map (fun y -> sign *. y) res.Revised.duals in
+    finish_revised t ~row_duals res.Revised.x
+      (map_status res.Revised.status)
+      (Some res.Revised.stats)
+  end
+  else begin
+    let empty () = Array.make (t.nvars + t.nrows) 0. in
+    match Presolve.apply prob with
+    | Presolve.Infeasible_detected -> finish_revised t (empty ()) Infeasible None
+    | Presolve.Unbounded_detected -> finish_revised t (empty ()) Unbounded None
+    | Presolve.Reduced (reduced, postsolve) ->
+        if reduced.Problem.ncols = 0 then
+          (* Everything was pinned by presolve; the point is feasible. *)
+          finish_revised t (postsolve [||]) Optimal None
+        else begin
+          let res = Revised.solve ?max_iterations reduced in
+          finish_revised t
+            (postsolve res.Revised.x)
+            (map_status res.Revised.status)
+            (Some res.Revised.stats)
+        end
+  end
+
+(* ---- lowering to the dense reference solver ----
+   The dense solver only supports x >= 0, so general bounds are compiled
+   away: finite lower bounds by shifting, finite upper bounds by extra rows,
+   free variables by splitting into a difference of non-negatives. *)
+
+let solve_dense t =
+  let n = t.nvars in
+  let lower = Array.make n 0. and upper = Array.make n 0. in
+  List.iteri (fun k l -> lower.(t.nvars - 1 - k) <- l) t.lowers;
+  List.iteri (fun k u -> upper.(t.nvars - 1 - k) <- u) t.uppers;
+  (* Variable v maps to column pos.(v); free variables additionally own a
+     negative part at column neg.(v). *)
+  let pos = Array.make n (-1) and neg = Array.make n (-1) in
+  let ncols = ref 0 in
+  let shift = Array.make n 0. in
+  for v = 0 to n - 1 do
+    pos.(v) <- !ncols;
+    incr ncols;
+    if lower.(v) = neg_infinity then begin
+      neg.(v) <- !ncols;
+      incr ncols
+    end
+    else shift.(v) <- lower.(v)
+  done;
+  let obj = Array.make !ncols 0. in
+  let const = ref 0. in
+  for v = 0 to n - 1 do
+    obj.(pos.(v)) <- t.objs.(v);
+    if neg.(v) >= 0 then obj.(neg.(v)) <- -.t.objs.(v);
+    const := !const +. (t.objs.(v) *. shift.(v))
+  done;
+  let lower_row terms rhs =
+    let row = Array.make !ncols 0. in
+    let c = ref rhs in
+    List.iter
+      (fun (a, v) ->
+        row.(pos.(v)) <- row.(pos.(v)) +. a;
+        if neg.(v) >= 0 then row.(neg.(v)) <- row.(neg.(v)) -. a;
+        c := !c -. (a *. shift.(v)))
+      terms;
+    (row, !c)
+  in
+  let rows = ref [] in
+  List.iter
+    (fun r ->
+      let row, rhs = lower_row r.terms r.rhs in
+      let sense =
+        match r.sense with
+        | Le -> Dense_simplex.Le
+        | Ge -> Dense_simplex.Ge
+        | Eq -> Dense_simplex.Eq
+      in
+      rows := (row, sense, rhs) :: !rows)
+    (List.rev t.rows);
+  (* Materialize finite upper bounds. *)
+  for v = 0 to n - 1 do
+    if upper.(v) < infinity then begin
+      let row, rhs = lower_row [ (1., v) ] upper.(v) in
+      rows := (row, Dense_simplex.Le, rhs) :: !rows
+    end
+  done;
+  let res =
+    Dense_simplex.solve
+      ~maximize:(t.dir = Maximize)
+      ~obj
+      ~constraints:(Array.of_list (List.rev !rows))
+      ()
+  in
+  let status =
+    match res.Dense_simplex.status with
+    | Dense_simplex.Optimal -> Optimal
+    | Dense_simplex.Infeasible -> Infeasible
+    | Dense_simplex.Unbounded -> Unbounded
+  in
+  let values = Array.make n 0. in
+  for v = 0 to n - 1 do
+    let x = res.Dense_simplex.x.(pos.(v)) in
+    let x = if neg.(v) >= 0 then x -. res.Dense_simplex.x.(neg.(v)) else x in
+    values.(v) <- x +. shift.(v)
+  done;
+  {
+    status;
+    objective = res.Dense_simplex.objective +. !const;
+    values;
+    stats = None;
+    row_duals = None;
+  }
+
+let solve ?(solver = `Revised) ?presolve ?max_iterations t =
+  match solver with
+  | `Revised -> solve_revised ?presolve ?max_iterations t
+  | `Dense -> solve_dense t
+
+let pp_solution t ppf sol =
+  let status_str =
+    match sol.status with
+    | Optimal -> "optimal"
+    | Infeasible -> "infeasible"
+    | Unbounded -> "unbounded"
+    | Iteration_limit -> "iteration-limit"
+  in
+  Format.fprintf ppf "@[<v>status: %s@,objective: %.6g@," status_str
+    sol.objective;
+  for v = 0 to t.nvars - 1 do
+    if Float.abs sol.values.(v) > 1e-9 then
+      Format.fprintf ppf "%s = %.6g@," (var_name t v) sol.values.(v)
+  done;
+  Format.fprintf ppf "@]"

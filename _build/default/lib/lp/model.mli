@@ -1,0 +1,86 @@
+(** High-level LP model builder.
+
+    Variables carry optional bounds and objective coefficients; constraints
+    are linear expressions compared to a constant.  [solve] lowers the model
+    to a {!Problem.t} and runs the sparse {!Revised} simplex (default), or
+    the independent {!Dense_simplex} reference for small models. *)
+
+type t
+
+type var
+(** An opaque variable handle, valid only for the model that created it. *)
+
+type sense = Le | Ge | Eq
+
+type direction = Minimize | Maximize
+
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type solution = {
+  status : status;
+  objective : float;  (** in the model's direction (not negated) *)
+  values : float array;  (** indexed by {!var_index} *)
+  stats : Revised.stats option;  (** present when the revised solver ran *)
+  row_duals : float array option;
+      (** shadow prices, one per constraint in insertion order: the
+          marginal change of the objective (in the model's direction) per
+          unit increase of that constraint's right-hand side.  Present when
+          the revised solver ran without presolve. *)
+}
+
+val create : ?direction:direction -> unit -> t
+(** A fresh empty model; default direction is [Minimize]. *)
+
+val direction : t -> direction
+
+val add_var :
+  t -> ?lower:float -> ?upper:float -> ?obj:float -> string -> var
+(** [add_var t name] adds a variable.  Defaults: [lower = 0.],
+    [upper = infinity], [obj = 0.].  Names are for diagnostics only and need
+    not be unique. *)
+
+val var_index : var -> int
+(** Position of the variable in [solution.values]. *)
+
+val var_name : t -> var -> string
+
+val set_obj : t -> var -> float -> unit
+(** Overwrite the objective coefficient of a variable. *)
+
+val add_constraint : t -> ?name:string -> (float * var) list -> sense -> float -> unit
+(** [add_constraint t terms sense rhs] adds [sum coeff*var  <sense>  rhs].
+    Duplicate variables in [terms] are summed. *)
+
+val add_le : t -> ?name:string -> (float * var) list -> float -> unit
+val add_ge : t -> ?name:string -> (float * var) list -> float -> unit
+val add_eq : t -> ?name:string -> (float * var) list -> float -> unit
+
+val n_vars : t -> int
+val n_constraints : t -> int
+
+val var_of_index : t -> int -> var
+(** Inverse of {!var_index}.  @raise Invalid_argument if out of range. *)
+
+val var_bounds : t -> var -> float * float
+
+val obj_coeff : t -> var -> float
+
+val iter_constraints :
+  t -> (name:string -> (float * var) list -> sense -> float -> unit) -> unit
+(** Visit the constraints in insertion order (used by {!Lp_format}). *)
+
+val solve :
+  ?solver:[ `Revised | `Dense ] ->
+  ?presolve:bool ->
+  ?max_iterations:int ->
+  t ->
+  solution
+(** Optimize the model.  The model itself is not modified and may be solved
+    again (e.g. after adding constraints).  [presolve] (default [false],
+    revised solver only) applies {!Presolve} reductions first and maps the
+    solution back. *)
+
+val value : solution -> var -> float
+(** Value of a variable in a solution (0. unless [status = Optimal]). *)
+
+val pp_solution : t -> Format.formatter -> solution -> unit

@@ -1,0 +1,163 @@
+type outcome =
+  | Reduced of Problem.t * (float array -> float array)
+  | Infeasible_detected
+  | Unbounded_detected
+
+exception Infeasible
+
+exception Unbounded
+
+let tol = 1e-9
+
+let apply prob =
+  let m = prob.Problem.nrows and n = prob.Problem.ncols in
+  let lower = Array.copy prob.Problem.lower in
+  let upper = Array.copy prob.Problem.upper in
+  let rhs = Array.copy prob.Problem.rhs in
+  let fixed = Array.make n None in
+  let row_alive = Array.make m true in
+  (* Row-wise view of the live submatrix. *)
+  let rows = Array.make m [] in
+  Array.iteri
+    (fun j col ->
+      Sparse_vec.iter (fun i a -> rows.(i) <- (j, a) :: rows.(i)) col)
+    prob.Problem.cols;
+  let fix j v =
+    if v < lower.(j) -. tol || v > upper.(j) +. tol then raise Infeasible;
+    fixed.(j) <- Some v;
+    (* Move the column's contribution into the right-hand sides. *)
+    Sparse_vec.iter
+      (fun i a -> if row_alive.(i) then rhs.(i) <- rhs.(i) -. (a *. v))
+      prob.Problem.cols.(j)
+  in
+  let try_round () =
+    let changed = ref false in
+    (* Fix variables whose bounds have collapsed. *)
+    for j = 0 to n - 1 do
+      if fixed.(j) = None && upper.(j) -. lower.(j) <= tol then begin
+        fix j lower.(j);
+        changed := true
+      end
+    done;
+    (* Fix empty (or fully-substituted) columns at their best bound. *)
+    for j = 0 to n - 1 do
+      if fixed.(j) = None then begin
+        let live_entries =
+          Sparse_vec.fold
+            (fun acc i _ -> if row_alive.(i) then acc + 1 else acc)
+            0 prob.Problem.cols.(j)
+        in
+        if live_entries = 0 then begin
+          let c = prob.Problem.obj.(j) in
+          let v =
+            if c > tol then
+              if lower.(j) > neg_infinity then lower.(j) else raise Unbounded
+            else if c < -.tol then
+              if upper.(j) < infinity then upper.(j) else raise Unbounded
+            else if lower.(j) > neg_infinity then lower.(j)
+            else if upper.(j) < infinity then upper.(j)
+            else 0.
+          in
+          fix j v;
+          changed := true
+        end
+      end
+    done;
+    (* Row reductions. *)
+    for i = 0 to m - 1 do
+      if row_alive.(i) then begin
+        rows.(i) <- List.filter (fun (j, _) -> fixed.(j) = None) rows.(i);
+        match rows.(i) with
+        | [] ->
+            if Float.abs rhs.(i) > 1e-7 then raise Infeasible;
+            row_alive.(i) <- false;
+            changed := true
+        | [ (j, a) ] ->
+            (* Singleton equality row pins the variable. *)
+            let v = rhs.(i) /. a in
+            if v < lower.(j) -. 1e-7 || v > upper.(j) +. 1e-7 then
+              raise Infeasible;
+            lower.(j) <- v;
+            upper.(j) <- v;
+            row_alive.(i) <- false;
+            changed := true
+        | _ :: _ :: _ -> ()
+      end
+    done;
+    !changed
+  in
+  match
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := try_round ()
+    done
+  with
+  | exception Infeasible -> Infeasible_detected
+  | exception Unbounded -> Unbounded_detected
+  | () ->
+      (* Build the reduced problem over surviving rows and columns. *)
+      let row_map = Array.make m (-1) in
+      let new_m = ref 0 in
+      for i = 0 to m - 1 do
+        if row_alive.(i) then begin
+          row_map.(i) <- !new_m;
+          incr new_m
+        end
+      done;
+      let col_map = Array.make n (-1) in
+      let kept_cols = ref [] in
+      for j = n - 1 downto 0 do
+        if fixed.(j) = None then kept_cols := j :: !kept_cols
+      done;
+      List.iteri (fun j' j -> col_map.(j) <- j') !kept_cols;
+      let kept = Array.of_list !kept_cols in
+      let new_n = Array.length kept in
+      let cols =
+        Array.map
+          (fun j ->
+            Sparse_vec.of_assoc
+              (Sparse_vec.fold
+                 (fun acc i a ->
+                   if row_alive.(i) then (row_map.(i), a) :: acc else acc)
+                 [] prob.Problem.cols.(j)))
+          kept
+      in
+      let new_rhs = Array.make !new_m 0. in
+      for i = 0 to m - 1 do
+        if row_alive.(i) then new_rhs.(row_map.(i)) <- rhs.(i)
+      done;
+      let basis_hint =
+        Option.map
+          (fun hint ->
+            let h = Array.make !new_m (-1) in
+            for i = 0 to m - 1 do
+              if row_alive.(i) && hint.(i) >= 0 && col_map.(hint.(i)) >= 0
+              then h.(row_map.(i)) <- col_map.(hint.(i))
+            done;
+            h)
+          prob.Problem.basis_hint
+      in
+      let reduced =
+        {
+          Problem.nrows = !new_m;
+          ncols = new_n;
+          cols;
+          obj = Array.map (fun j -> prob.Problem.obj.(j)) kept;
+          lower = Array.map (fun j -> lower.(j)) kept;
+          upper = Array.map (fun j -> upper.(j)) kept;
+          rhs = new_rhs;
+          basis_hint;
+        }
+      in
+      let postsolve x_reduced =
+        Array.init n (fun j ->
+            match fixed.(j) with
+            | Some v -> v
+            | None -> x_reduced.(col_map.(j)))
+      in
+      Reduced (reduced, postsolve)
+
+let stats before after =
+  Printf.sprintf "presolve: rows %d -> %d, cols %d -> %d, nnz %d -> %d"
+    before.Problem.nrows after.Problem.nrows before.Problem.ncols
+    after.Problem.ncols (Problem.nnz before) (Problem.nnz after)

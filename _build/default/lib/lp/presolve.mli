@@ -1,0 +1,22 @@
+(** Presolve: cheap problem reductions applied before the simplex.
+
+    The planning LPs contain many rows and columns that can be removed
+    without changing the optimum:
+    - fixed variables (lower = upper) are substituted out;
+    - empty rows are checked for consistency and dropped;
+    - empty columns are set to their best bound (or detected unbounded);
+    - singleton rows ([a x_j <= b] etc.) are turned into bounds on [x_j].
+
+    [apply] returns the reduced problem plus a postsolve function mapping a
+    reduced solution vector back to the original column space. *)
+
+type outcome =
+  | Reduced of Problem.t * (float array -> float array)
+      (** reduced problem and the postsolve mapping *)
+  | Infeasible_detected
+  | Unbounded_detected
+
+val apply : Problem.t -> outcome
+
+val stats : Problem.t -> Problem.t -> string
+(** Human-readable summary of the reduction (rows/cols/nnz before/after). *)

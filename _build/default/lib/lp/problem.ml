@@ -1,0 +1,74 @@
+type t = {
+  nrows : int;
+  ncols : int;
+  cols : Sparse_vec.t array;
+  obj : float array;
+  lower : float array;
+  upper : float array;
+  rhs : float array;
+  basis_hint : int array option;
+}
+
+let validate t =
+  let check c msg = if not c then invalid_arg ("Problem: " ^ msg) in
+  check (t.nrows >= 0 && t.ncols >= 0) "negative dimensions";
+  check (Array.length t.cols = t.ncols) "cols length";
+  check (Array.length t.obj = t.ncols) "obj length";
+  check (Array.length t.lower = t.ncols) "lower length";
+  check (Array.length t.upper = t.ncols) "upper length";
+  check (Array.length t.rhs = t.nrows) "rhs length";
+  Array.iteri
+    (fun j col ->
+      Sparse_vec.iter
+        (fun i _ ->
+          if i >= t.nrows then
+            invalid_arg
+              (Printf.sprintf "Problem: column %d has row index %d >= nrows %d"
+                 j i t.nrows))
+        col)
+    t.cols;
+  for j = 0 to t.ncols - 1 do
+    check (t.lower.(j) <= t.upper.(j)) "lower > upper";
+    check (not (Float.is_nan t.lower.(j) || Float.is_nan t.upper.(j))) "NaN bound"
+  done;
+  match t.basis_hint with
+  | None -> ()
+  | Some hint ->
+      check (Array.length hint = t.nrows) "basis_hint length";
+      Array.iteri
+        (fun i j ->
+          if j >= 0 then begin
+            check (j < t.ncols) "basis_hint column out of range";
+            let col = t.cols.(j) in
+            check (Sparse_vec.nnz col = 1) "basis_hint column not a unit vector";
+            check (Sparse_vec.get col i = 1.) "basis_hint column not e_i"
+          end)
+        hint
+
+let nnz t = Array.fold_left (fun acc c -> acc + Sparse_vec.nnz c) 0 t.cols
+
+let activity t x =
+  let act = Array.make t.nrows 0. in
+  Array.iteri
+    (fun j col -> if x.(j) <> 0. then Sparse_vec.axpy_dense x.(j) col act)
+    t.cols;
+  act
+
+let objective_value t x =
+  let acc = ref 0. in
+  for j = 0 to t.ncols - 1 do
+    acc := !acc +. (t.obj.(j) *. x.(j))
+  done;
+  !acc
+
+let max_constraint_violation t x =
+  let act = activity t x in
+  let viol = ref 0. in
+  for i = 0 to t.nrows - 1 do
+    viol := Float.max !viol (Float.abs (act.(i) -. t.rhs.(i)))
+  done;
+  for j = 0 to t.ncols - 1 do
+    viol := Float.max !viol (t.lower.(j) -. x.(j));
+    viol := Float.max !viol (x.(j) -. t.upper.(j))
+  done;
+  Float.max !viol 0.

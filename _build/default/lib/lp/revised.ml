@@ -1,0 +1,444 @@
+let src = Logs.Src.create "lp.revised" ~doc:"Revised simplex"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type stats = {
+  iterations : int;
+  phase1_iterations : int;
+  refactorizations : int;
+  degenerate_pivots : int;
+  bound_flips : int;
+}
+
+type result = {
+  status : status;
+  x : float array;
+  objective : float;
+  duals : float array;
+  stats : stats;
+}
+
+let pp_status ppf = function
+  | Optimal -> Format.pp_print_string ppf "optimal"
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+  | Iteration_limit -> Format.pp_print_string ppf "iteration-limit"
+
+(* Eta update for the product-form basis inverse.  [rows]/[vals] are the
+   entries of the pivot (FTRAN) column w excluding the pivot slot. *)
+type eta = { slot : int; wp : float; rows : int array; vals : float array }
+
+type state = {
+  prob : Problem.t;
+  m : int;  (* rows *)
+  ntot : int;  (* structural+slack columns plus m artificials *)
+  cols : Sparse_vec.t array;  (* length ntot *)
+  lower : float array;
+  upper : float array;
+  xval : float array;
+  basis : int array;  (* slot -> variable *)
+  where : int array;  (* variable -> slot, or -1 if nonbasic *)
+  at_upper : bool array;  (* for nonbasic variables *)
+  mutable lu : Lu.t;
+  mutable etas : eta list;  (* oldest first *)
+  mutable n_etas : int;
+  mutable iterations : int;
+  mutable phase1_iterations : int;
+  mutable refactorizations : int;
+  mutable degenerate_pivots : int;
+  mutable bound_flips : int;
+  mutable consecutive_degenerate : int;
+  mutable bland : bool;
+  feas_tol : float;
+  opt_tol : float;
+  refactor_interval : int;
+}
+
+let is_free st j =
+  st.lower.(j) = neg_infinity && st.upper.(j) = infinity
+
+let is_fixed st j = st.lower.(j) = st.upper.(j)
+
+(* Apply B^{-1} to a dense row-indexed vector, yielding a slot-indexed one. *)
+let ftran st v =
+  let v = Lu.solve st.lu v in
+  List.iter
+    (fun e ->
+      let t = v.(e.slot) /. e.wp in
+      v.(e.slot) <- t;
+      if t <> 0. then
+        for p = 0 to Array.length e.rows - 1 do
+          v.(e.rows.(p)) <- v.(e.rows.(p)) -. (e.vals.(p) *. t)
+        done)
+    st.etas;
+  v
+
+(* Apply B^{-T} to a dense slot-indexed vector, yielding a row-indexed one.
+   Etas are applied newest-first, then the LU transpose solve. *)
+let btran st c =
+  let c = Array.copy c in
+  let apply e =
+    let acc = ref 0. in
+    for p = 0 to Array.length e.rows - 1 do
+      acc := !acc +. (e.vals.(p) *. c.(e.rows.(p)))
+    done;
+    c.(e.slot) <- (c.(e.slot) -. !acc) /. e.wp
+  in
+  List.iter apply (List.rev st.etas);
+  Lu.solve_transpose st.lu c
+
+let refactorize st =
+  let basis_cols = Array.map (fun j -> st.cols.(j)) st.basis in
+  st.lu <- Lu.factor ~dim:st.m basis_cols;
+  st.etas <- [];
+  st.n_etas <- 0;
+  st.refactorizations <- st.refactorizations + 1;
+  (* Recompute the basic values from scratch to purge accumulated drift. *)
+  let r = Array.copy st.prob.Problem.rhs in
+  for j = 0 to st.ntot - 1 do
+    if st.where.(j) < 0 && st.xval.(j) <> 0. then
+      Sparse_vec.axpy_dense (-.st.xval.(j)) st.cols.(j) r
+  done;
+  let xb = Lu.solve st.lu r in
+  Array.iteri (fun slot j -> st.xval.(j) <- xb.(slot)) st.basis
+
+(* Choose the entering variable under the current objective [c].
+   Returns [Some (j, dir)] where [dir] is +1. (increase from lower/free) or
+   -1. (decrease from upper/free), or [None] at optimality. *)
+let price st c banned =
+  let y = btran st (Array.map (fun j -> c.(j)) st.basis) in
+  let best = ref None in
+  let best_score = ref st.opt_tol in
+  (try
+     for j = 0 to st.ntot - 1 do
+       if st.where.(j) < 0 && (not (is_fixed st j)) && not (List.mem j banned)
+       then begin
+         let d = c.(j) -. Sparse_vec.dot_dense st.cols.(j) y in
+         let candidate =
+           if is_free st j then
+             if d < -.st.opt_tol then Some (j, 1., -.d)
+             else if d > st.opt_tol then Some (j, -1., d)
+             else None
+           else if st.at_upper.(j) then
+             if d > st.opt_tol then Some (j, -1., d) else None
+           else if d < -.st.opt_tol then Some (j, 1., -.d)
+           else None
+         in
+         match candidate with
+         | None -> ()
+         | Some (j, dir, score) ->
+             if st.bland then begin
+               (* Bland: first eligible index. *)
+               best := Some (j, dir);
+               raise Exit
+             end
+             else if score > !best_score then begin
+               best := Some (j, dir);
+               best_score := score
+             end
+       end
+     done
+   with Exit -> ());
+  !best
+
+type ratio_outcome =
+  | Flip
+  | Pivot of { slot : int; t : float; to_upper : bool }
+  | Ray  (* unbounded direction *)
+
+(* Bounded-variable ratio test for entering variable [q] moving in
+   direction [dir] with FTRAN column [w]. *)
+let ratio_test st q dir w =
+  let pivot_tol = 1e-9 in
+  let t_flip = st.upper.(q) -. st.lower.(q) in
+  let best_t = ref infinity in
+  let best_slot = ref (-1) in
+  let best_to_upper = ref false in
+  let best_wabs = ref 0. in
+  for slot = 0 to st.m - 1 do
+    let wv = w.(slot) in
+    if Float.abs wv > pivot_tol then begin
+      let i = st.basis.(slot) in
+      let delta = dir *. wv in
+      let t, to_upper =
+        if delta > 0. then
+          (* basic variable decreases towards its lower bound *)
+          if st.lower.(i) = neg_infinity then (infinity, false)
+          else (Float.max 0. (st.xval.(i) -. st.lower.(i)) /. delta, false)
+        else if st.upper.(i) = infinity then (infinity, true)
+        else (Float.max 0. (st.upper.(i) -. st.xval.(i)) /. -.delta, true)
+      in
+      let wabs = Float.abs wv in
+      let better =
+        if st.bland then
+          t < !best_t -. 1e-12
+          || (t <= !best_t +. 1e-12 && (!best_slot < 0 || i < st.basis.(!best_slot)))
+        else
+          t < !best_t -. 1e-12 || (t <= !best_t +. 1e-12 && wabs > !best_wabs)
+      in
+      if t < infinity && better then begin
+        best_t := t;
+        best_slot := slot;
+        best_to_upper := to_upper;
+        best_wabs := wabs
+      end
+    end
+  done;
+  if !best_slot < 0 && t_flip = infinity then Ray
+  else if t_flip <= !best_t then Flip
+  else Pivot { slot = !best_slot; t = !best_t; to_upper = !best_to_upper }
+
+let apply_flip st q dir w =
+  let range = st.upper.(q) -. st.lower.(q) in
+  let delta = dir *. range in
+  for slot = 0 to st.m - 1 do
+    if w.(slot) <> 0. then begin
+      let i = st.basis.(slot) in
+      st.xval.(i) <- st.xval.(i) -. (delta *. w.(slot))
+    end
+  done;
+  st.at_upper.(q) <- not st.at_upper.(q);
+  st.xval.(q) <- (if st.at_upper.(q) then st.upper.(q) else st.lower.(q));
+  st.bound_flips <- st.bound_flips + 1
+
+let apply_pivot st q dir w slot t to_upper =
+  let leaving = st.basis.(slot) in
+  for s = 0 to st.m - 1 do
+    if w.(s) <> 0. then begin
+      let i = st.basis.(s) in
+      st.xval.(i) <- st.xval.(i) -. (t *. dir *. w.(s))
+    end
+  done;
+  st.xval.(q) <- st.xval.(q) +. (t *. dir);
+  (* Land the leaving variable exactly on its bound. *)
+  st.xval.(leaving) <-
+    (if to_upper then st.upper.(leaving) else st.lower.(leaving));
+  st.where.(leaving) <- -1;
+  st.at_upper.(leaving) <- to_upper;
+  st.basis.(slot) <- q;
+  st.where.(q) <- slot;
+  (* Record the eta factor. *)
+  let rows = ref [] in
+  for s = 0 to st.m - 1 do
+    if s <> slot && Float.abs w.(s) > 1e-12 then rows := (s, w.(s)) :: !rows
+  done;
+  let eta =
+    {
+      slot;
+      wp = w.(slot);
+      rows = Array.of_list (List.map fst !rows);
+      vals = Array.of_list (List.map snd !rows);
+    }
+  in
+  st.etas <- st.etas @ [ eta ];
+  st.n_etas <- st.n_etas + 1;
+  if t <= 1e-10 then begin
+    st.degenerate_pivots <- st.degenerate_pivots + 1;
+    st.consecutive_degenerate <- st.consecutive_degenerate + 1
+  end
+  else st.consecutive_degenerate <- 0;
+  if st.consecutive_degenerate > 2000 && not st.bland then begin
+    Log.debug (fun f -> f "switching to Bland's rule after degeneracy");
+    st.bland <- true
+  end;
+  if st.n_etas >= st.refactor_interval then refactorize st
+
+(* Run the simplex loop with objective [c] until optimality or trouble.
+   [phase1] only affects iteration bookkeeping. *)
+let optimize st c ~phase1 ~max_iterations =
+  let rec loop banned =
+    if st.iterations >= max_iterations then Iteration_limit
+    else
+      match price st c banned with
+      | None -> Optimal
+      | Some (q, dir) -> (
+          let aq = Array.make st.m 0. in
+          Sparse_vec.iter (fun i x -> aq.(i) <- x) st.cols.(q);
+          let w = ftran st aq in
+          match ratio_test st q dir w with
+          | Ray -> if phase1 then Optimal (* cannot happen; be safe *) else Unbounded
+          | Flip ->
+              st.iterations <- st.iterations + 1;
+              if phase1 then st.phase1_iterations <- st.phase1_iterations + 1;
+              apply_flip st q dir w;
+              loop []
+          | Pivot { slot; t; to_upper } ->
+              if Float.abs w.(slot) < 1e-7 && st.n_etas > 0 then begin
+                (* Numerically dubious pivot: refactorize and retry. *)
+                refactorize st;
+                loop banned
+              end
+              else if Float.abs w.(slot) < 1e-9 then
+                (* Still tiny with a fresh factorization: avoid this column. *)
+                loop (q :: banned)
+              else begin
+                st.iterations <- st.iterations + 1;
+                if phase1 then
+                  st.phase1_iterations <- st.phase1_iterations + 1;
+                apply_pivot st q dir w slot t to_upper;
+                loop []
+              end)
+  in
+  loop []
+
+let solve ?(max_iterations = 200_000) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7)
+    ?(refactor_interval = 64) prob =
+  Problem.validate prob;
+  let m = prob.Problem.nrows and n = prob.Problem.ncols in
+  let ntot = n + m in
+  let cols = Array.make ntot Sparse_vec.empty in
+  Array.blit prob.Problem.cols 0 cols 0 n;
+  for i = 0 to m - 1 do
+    cols.(n + i) <- Sparse_vec.of_assoc [ (i, 1.) ]
+  done;
+  let lower = Array.make ntot 0. and upper = Array.make ntot 0. in
+  Array.blit prob.Problem.lower 0 lower 0 n;
+  Array.blit prob.Problem.upper 0 upper 0 n;
+  let xval = Array.make ntot 0. in
+  (* Nonbasic starting point: finite lower bound if any, else finite upper,
+     else 0 for free variables. *)
+  let at_upper = Array.make ntot false in
+  for j = 0 to n - 1 do
+    if lower.(j) > neg_infinity then xval.(j) <- lower.(j)
+    else if upper.(j) < infinity then begin
+      xval.(j) <- upper.(j);
+      at_upper.(j) <- true
+    end
+    else xval.(j) <- 0.
+  done;
+  (* Residual with hinted columns held at zero. *)
+  let hint =
+    match prob.Problem.basis_hint with
+    | Some h -> h
+    | None -> Array.make m (-1)
+  in
+  let hinted = Array.make n false in
+  Array.iter (fun j -> if j >= 0 then hinted.(j) <- true) hint;
+  let residual = Array.copy prob.Problem.rhs in
+  for j = 0 to n - 1 do
+    if (not hinted.(j)) && xval.(j) <> 0. then
+      Sparse_vec.axpy_dense (-.xval.(j)) cols.(j) residual
+  done;
+  let basis = Array.make m (-1) in
+  let where = Array.make ntot (-1) in
+  let need_phase1 = ref false in
+  for i = 0 to m - 1 do
+    let r = residual.(i) in
+    let h = hint.(i) in
+    if h >= 0 && lower.(h) -. feas_tol <= r && r <= upper.(h) +. feas_tol
+    then begin
+      basis.(i) <- h;
+      xval.(h) <- r;
+      (* artificial for this row stays nonbasic, fixed at zero *)
+      lower.(n + i) <- 0.;
+      upper.(n + i) <- 0.
+    end
+    else begin
+      (* Use the artificial; if there was a hint column it stays nonbasic at
+         its initial bound value of 0 (all slack bounds include 0). *)
+      basis.(i) <- n + i;
+      xval.(n + i) <- r;
+      if r >= 0. then begin
+        lower.(n + i) <- 0.;
+        upper.(n + i) <- infinity
+      end
+      else begin
+        lower.(n + i) <- neg_infinity;
+        upper.(n + i) <- 0.
+      end;
+      if Float.abs r > feas_tol then need_phase1 := true
+    end
+  done;
+  Array.iteri (fun slot j -> where.(j) <- slot) basis;
+  let st =
+    {
+      prob;
+      m;
+      ntot;
+      cols;
+      lower;
+      upper;
+      xval;
+      basis;
+      where;
+      at_upper;
+      lu = Lu.factor ~dim:m (Array.map (fun j -> cols.(j)) basis);
+      etas = [];
+      n_etas = 0;
+      iterations = 0;
+      phase1_iterations = 0;
+      refactorizations = 0;
+      degenerate_pivots = 0;
+      bound_flips = 0;
+      consecutive_degenerate = 0;
+      bland = false;
+      feas_tol;
+      opt_tol;
+      refactor_interval;
+    }
+  in
+  let finish status =
+    let x = Array.sub st.xval 0 n in
+    let objective = Problem.objective_value prob x in
+    let duals =
+      btran st (Array.map (fun j -> if j < n then prob.Problem.obj.(j) else 0.) st.basis)
+    in
+    {
+      status;
+      x;
+      objective;
+      duals;
+      stats =
+        {
+          iterations = st.iterations;
+          phase1_iterations = st.phase1_iterations;
+          refactorizations = st.refactorizations;
+          degenerate_pivots = st.degenerate_pivots;
+          bound_flips = st.bound_flips;
+        };
+    }
+  in
+  let phase2 () =
+    let c = Array.make ntot 0. in
+    Array.blit prob.Problem.obj 0 c 0 n;
+    match optimize st c ~phase1:false ~max_iterations with
+    | Optimal -> finish Optimal
+    | Unbounded -> finish Unbounded
+    | Iteration_limit -> finish Iteration_limit
+    | Infeasible -> assert false
+  in
+  if not !need_phase1 then phase2 ()
+  else begin
+    (* Phase 1: minimize the total artificial infeasibility. *)
+    let c1 = Array.make ntot 0. in
+    for i = 0 to m - 1 do
+      if st.where.(n + i) >= 0 then
+        c1.(n + i) <- (if st.xval.(n + i) >= 0. then 1. else -1.)
+      else c1.(n + i) <- 1.
+    done;
+    match optimize st c1 ~phase1:true ~max_iterations with
+    | Iteration_limit -> finish Iteration_limit
+    | Unbounded -> assert false
+    | Infeasible -> assert false
+    | Optimal ->
+        let infeas = ref 0. in
+        for i = 0 to m - 1 do
+          infeas := !infeas +. Float.abs st.xval.(n + i)
+        done;
+        if !infeas > Float.max 1e-6 (st.feas_tol *. float_of_int m) then
+          finish Infeasible
+        else begin
+          (* Pin all artificials to zero and re-optimize the true cost. *)
+          for i = 0 to m - 1 do
+            st.lower.(n + i) <- 0.;
+            st.upper.(n + i) <- 0.;
+            if st.where.(n + i) < 0 then begin
+              st.xval.(n + i) <- 0.;
+              st.at_upper.(n + i) <- false
+            end
+          done;
+          phase2 ()
+        end
+  end

@@ -1,0 +1,41 @@
+(** Revised simplex method with bounded variables.
+
+    Solves a {!Problem.t} (minimization over [A x = rhs], [l <= x <= u])
+    using the revised simplex method: the basis inverse is maintained as a
+    sparse {!Lu} factorization refreshed periodically, with product-form eta
+    updates in between.  Infeasible starting bases are handled by an
+    artificial-variable phase 1.  Dantzig pricing with an automatic switch
+    to Bland's rule under sustained degeneracy guarantees termination. *)
+
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type stats = {
+  iterations : int;           (** total simplex pivots (both phases) *)
+  phase1_iterations : int;
+  refactorizations : int;
+  degenerate_pivots : int;
+  bound_flips : int;
+}
+
+type result = {
+  status : status;
+  x : float array;
+      (** primal values for the problem's columns (length [ncols]);
+          meaningful when [status = Optimal] *)
+  objective : float;  (** objective value of [x] *)
+  duals : float array;
+      (** row dual values [y] with [B^T y = c_B] at the final basis *)
+  stats : stats;
+}
+
+val solve :
+  ?max_iterations:int ->
+  ?feas_tol:float ->
+  ?opt_tol:float ->
+  ?refactor_interval:int ->
+  Problem.t ->
+  result
+(** Solve the problem.  Defaults: [max_iterations = 200_000],
+    [feas_tol = 1e-7], [opt_tol = 1e-7], [refactor_interval = 64]. *)
+
+val pp_status : Format.formatter -> status -> unit

@@ -1,0 +1,49 @@
+type t = {
+  values : float array;
+  touched : bool array;
+  mutable stack : int list;
+  dim : int;
+}
+
+let create dim =
+  { values = Array.make dim 0.; touched = Array.make dim false; stack = []; dim }
+
+let dim t = t.dim
+
+let get t i = t.values.(i)
+
+let touch t i =
+  if not t.touched.(i) then begin
+    t.touched.(i) <- true;
+    t.stack <- i :: t.stack
+  end
+
+let set t i x =
+  touch t i;
+  t.values.(i) <- x
+
+let add t i x =
+  touch t i;
+  t.values.(i) <- t.values.(i) +. x
+
+let scatter t v = Sparse_vec.iter (fun i x -> add t i x) v
+
+let scatter_scaled t a v = Sparse_vec.iter (fun i x -> add t i (a *. x)) v
+
+let iter_touched t f = List.iter (fun i -> f i t.values.(i)) t.stack
+
+let sweep t =
+  List.iter
+    (fun i ->
+      t.values.(i) <- 0.;
+      t.touched.(i) <- false)
+    t.stack;
+  t.stack <- []
+
+let to_sparse ?(drop = 1e-12) t =
+  let entries = ref [] in
+  iter_touched t (fun i x ->
+      if Float.abs x > drop then entries := (i, x) :: !entries);
+  let v = Sparse_vec.of_assoc !entries in
+  sweep t;
+  v

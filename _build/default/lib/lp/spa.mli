@@ -1,0 +1,36 @@
+(** Sparse accumulator ("SPA"): a dense work vector with an explicit list of
+    touched positions, allowing repeated sparse gather/scatter operations in
+    O(nnz) instead of O(dimension).
+
+    A single accumulator is typically reused across all iterations of a
+    solve; [sweep] (or [to_sparse]) resets it for the next use. *)
+
+type t
+
+val create : int -> t
+(** [create dim] allocates an accumulator over indices [0 .. dim-1]. *)
+
+val dim : t -> int
+
+val get : t -> int -> float
+
+val set : t -> int -> float -> unit
+
+val add : t -> int -> float -> unit
+(** [add t i x] accumulates [x] into position [i]. *)
+
+val scatter : t -> Sparse_vec.t -> unit
+(** [scatter t v] adds every entry of [v] into the accumulator. *)
+
+val scatter_scaled : t -> float -> Sparse_vec.t -> unit
+(** [scatter_scaled t a v] adds [a *. v] into the accumulator. *)
+
+val iter_touched : t -> (int -> float -> unit) -> unit
+(** Visit every touched position (including any that cancelled to zero). *)
+
+val to_sparse : ?drop:float -> t -> Sparse_vec.t
+(** Extract the touched entries with magnitude above [drop] (default
+    [1e-12]) as a sparse vector, then reset the accumulator. *)
+
+val sweep : t -> unit
+(** Reset all touched positions to zero. *)

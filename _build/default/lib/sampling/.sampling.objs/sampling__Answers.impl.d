@@ -1,0 +1,1 @@
+lib/sampling/answers.ml: Array Float Hashtbl Int List Printf Sample_set

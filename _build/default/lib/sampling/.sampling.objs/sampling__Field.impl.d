@@ -1,0 +1,1 @@
+lib/sampling/field.ml: Array Printf Rng Stats

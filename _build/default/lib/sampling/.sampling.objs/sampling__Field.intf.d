@@ -1,0 +1,1 @@
+lib/sampling/field.mli: Rng

@@ -1,0 +1,1 @@
+lib/sampling/intel_lab.ml: Array Float Rng Sensor

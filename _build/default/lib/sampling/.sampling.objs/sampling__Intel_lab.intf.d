@@ -1,0 +1,1 @@
+lib/sampling/intel_lab.mli: Rng Sensor

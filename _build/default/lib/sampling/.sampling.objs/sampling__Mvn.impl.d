@@ -1,0 +1,1 @@
+lib/sampling/mvn.ml: Array Field Float Printf Rng Sensor

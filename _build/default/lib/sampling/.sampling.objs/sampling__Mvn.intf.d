@@ -1,0 +1,1 @@
+lib/sampling/mvn.mli: Field Sensor

@@ -1,0 +1,1 @@
+lib/sampling/sample_set.ml: Array Field Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/sampling/sample_set.mli: Field Rng

@@ -1,0 +1,1 @@
+lib/sampling/stats.ml: Array Float Int

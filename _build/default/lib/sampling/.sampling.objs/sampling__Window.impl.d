@@ -1,0 +1,1 @@
+lib/sampling/window.ml: Array Float List Rng Sample_set

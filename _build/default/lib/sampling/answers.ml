@@ -1,0 +1,100 @@
+type t = {
+  n : int;
+  values : float array array;
+  ones : int array array;
+  is_one : bool array array;
+  colsum : int array;
+  max_answer : int;
+  describe : string;
+}
+
+let make ~name ~answer values =
+  let count = Array.length values in
+  if count = 0 then invalid_arg "Answers.make: no samples";
+  let n = Array.length values.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Answers.make: ragged samples")
+    values;
+  let ones = Array.map answer values in
+  Array.iter
+    (Array.iter (fun i ->
+         if i < 0 || i >= n then
+           invalid_arg "Answers.make: answer index out of range"))
+    ones;
+  let is_one =
+    Array.map
+      (fun one_row ->
+        let flags = Array.make n false in
+        Array.iter (fun i -> flags.(i) <- true) one_row;
+        flags)
+      ones
+  in
+  let colsum = Array.make n 0 in
+  Array.iter (Array.iter (fun i -> colsum.(i) <- colsum.(i) + 1)) ones;
+  let max_answer =
+    Array.fold_left (fun acc o -> Int.max acc (Array.length o)) 0 ones
+  in
+  { n; values; ones; is_one; colsum; max_answer; describe = name }
+
+let top_k ~k values =
+  if k < 1 then invalid_arg "Answers.top_k: k must be positive";
+  make
+    ~name:(Printf.sprintf "top-%d" k)
+    ~answer:(fun row -> Sample_set.top_k_nodes ~k row)
+    values
+
+let selection ~threshold values =
+  make
+    ~name:(Printf.sprintf "selection > %g" threshold)
+    ~answer:(fun row ->
+      let hits = ref [] in
+      Array.iteri (fun i v -> if v > threshold then hits := i :: !hits) row;
+      Array.of_list (List.rev !hits))
+    values
+
+(* Rank order used for quantiles: ascending value, ties to smaller id. *)
+let ranked row =
+  let order = Array.init (Array.length row) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare row.(a) row.(b) with 0 -> compare a b | c -> c)
+    order;
+  order
+
+let quantile ~phi ~window values =
+  if phi <= 0. || phi >= 1. then
+    invalid_arg "Answers.quantile: phi must be in (0, 1)";
+  if window < 0 then invalid_arg "Answers.quantile: negative window";
+  make
+    ~name:(Printf.sprintf "%g-quantile (rank window %d)" phi window)
+    ~answer:(fun row ->
+      let order = ranked row in
+      let n = Array.length order in
+      let center = int_of_float (Float.round (phi *. float_of_int (n - 1))) in
+      let lo = Int.max 0 (center - window) in
+      let hi = Int.min (n - 1) (center + window) in
+      Array.sub order lo (hi - lo + 1))
+    values
+
+let extremes ~k values =
+  if k < 1 then invalid_arg "Answers.extremes: k must be positive";
+  make
+    ~name:(Printf.sprintf "extremes (top and bottom %d)" k)
+    ~answer:(fun row ->
+      let order = ranked row in
+      let n = Array.length order in
+      let k = Int.min k n in
+      let bottom = Array.sub order 0 k in
+      let top = Array.sub order (Int.max 0 (n - k)) (Int.min k n) in
+      let seen = Hashtbl.create (2 * k) in
+      let keep i =
+        if Hashtbl.mem seen i then false
+        else begin
+          Hashtbl.replace seen i ();
+          true
+        end
+      in
+      Array.of_list
+        (List.filter keep (Array.to_list bottom @ Array.to_list top)))
+    values

@@ -1,0 +1,36 @@
+(** Generalized answer models (Section 3).
+
+    The sampling framework is not top-k-specific: "in the general case, set
+    S(j,i) = 1 iff node i contributes to the answer in the j-th sample".
+    This module builds that Boolean matrix for any answer function, with
+    ready-made models for the query classes the paper names — selection and
+    quantile — plus top-k itself and a two-tail (extremes) variant. *)
+
+type t = private {
+  n : int;  (** number of nodes *)
+  values : float array array;  (** the underlying samples *)
+  ones : int array array;  (** per sample: nodes contributing to the answer *)
+  is_one : bool array array;
+  colsum : int array;
+  max_answer : int;  (** largest answer cardinality over the samples *)
+  describe : string;
+}
+
+val make :
+  name:string -> answer:(float array -> int array) -> float array array -> t
+(** Build the matrix from an answer function.
+    @raise Invalid_argument on empty or ragged samples. *)
+
+val top_k : k:int -> float array array -> t
+
+val selection : threshold:float -> float array array -> t
+(** Nodes whose reading strictly exceeds [threshold]. *)
+
+val quantile : phi:float -> window:int -> float array array -> t
+(** The nodes holding the [phi]-quantile reading and its [window] nearest
+    neighbours in rank order — retrieving a small rank window is how an
+    approximate quantile tolerates slightly wrong plans.
+    @raise Invalid_argument unless [0 < phi < 1] and [window >= 0]. *)
+
+val extremes : k:int -> float array array -> t
+(** Both tails: the k largest and k smallest readings (min/max monitoring). *)

@@ -1,0 +1,63 @@
+type t = { n : int; draw : Rng.t -> float array; describe : string }
+
+let independent_gaussian ~means ~sigmas =
+  if Array.length means <> Array.length sigmas then
+    invalid_arg "Field.independent_gaussian: length mismatch";
+  Array.iter
+    (fun s ->
+      if s < 0. then invalid_arg "Field.independent_gaussian: negative sigma")
+    sigmas;
+  let n = Array.length means in
+  {
+    n;
+    draw =
+      (fun rng ->
+        Array.init n (fun i -> Rng.gaussian rng ~mu:means.(i) ~sigma:sigmas.(i)));
+    describe = Printf.sprintf "independent gaussians over %d nodes" n;
+  }
+
+let random_gaussian rng ~n ~mean_lo ~mean_hi ~sigma_lo ~sigma_hi =
+  let means = Array.init n (fun _ -> Rng.uniform rng ~lo:mean_lo ~hi:mean_hi) in
+  let sigmas =
+    Array.init n (fun _ -> Rng.uniform rng ~lo:sigma_lo ~hi:sigma_hi)
+  in
+  independent_gaussian ~means ~sigmas
+
+let contention_zones ~zone ~background_mean ~background_sigma ~exceed_prob
+    ~mean_gap =
+  if exceed_prob <= 0. || exceed_prob >= 0.5 then
+    invalid_arg "Field.contention_zones: exceed_prob must be in (0, 0.5)";
+  if mean_gap <= 0. then
+    invalid_arg "Field.contention_zones: mean_gap must be positive";
+  let n = Array.length zone in
+  (* P(N(mu, sigma) > background_mean) = exceed_prob with
+     mu = background_mean - mean_gap  =>  sigma = gap / z_{1-p}. *)
+  let z = Stats.normal_quantile (1. -. exceed_prob) in
+  let zone_sigma = mean_gap /. z in
+  let zone_mean = background_mean -. mean_gap in
+  let means =
+    Array.map (fun z -> if z >= 0 then zone_mean else background_mean) zone
+  in
+  let sigmas =
+    Array.map (fun z -> if z >= 0 then zone_sigma else background_sigma) zone
+  in
+  let f = independent_gaussian ~means ~sigmas in
+  {
+    f with
+    describe =
+      Printf.sprintf
+        "contention zones (%d nodes, zone sigma %.2f, exceed prob %.2f)" n
+        zone_sigma exceed_prob;
+  }
+
+let scaled t ~sigma_scale =
+  if sigma_scale < 0. then invalid_arg "Field.scaled: negative scale";
+  {
+    t with
+    draw =
+      (fun rng ->
+        let xs = t.draw rng in
+        let m = Stats.mean xs in
+        Array.map (fun x -> m +. ((x -. m) *. sigma_scale)) xs);
+    describe = Printf.sprintf "%s, sigma x%.2f" t.describe sigma_scale;
+  }

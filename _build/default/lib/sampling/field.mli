@@ -1,0 +1,46 @@
+(** Value-field models: joint distributions of the readings of all nodes.
+
+    A field knows how to draw one epoch of readings for the whole network.
+    Fields stand in for the "joint probability distribution over all sensor
+    readings" of the paper; the PROSPECTOR planners never reason about a
+    field directly — they only ever see samples drawn from it (Section 3). *)
+
+type t = {
+  n : int;  (** number of nodes *)
+  draw : Rng.t -> float array;  (** one epoch of readings *)
+  describe : string;
+}
+
+val independent_gaussian : means:float array -> sigmas:float array -> t
+(** Each node reads from its own independent normal distribution. *)
+
+val random_gaussian :
+  Rng.t ->
+  n:int ->
+  mean_lo:float ->
+  mean_hi:float ->
+  sigma_lo:float ->
+  sigma_hi:float ->
+  t
+(** Independent Gaussians whose means and standard deviations are chosen
+    uniformly from small ranges (the synthetic setup of Figure 3). *)
+
+val contention_zones :
+  zone:int array ->
+  background_mean:float ->
+  background_sigma:float ->
+  exceed_prob:float ->
+  mean_gap:float ->
+  t
+(** The negatively-correlated workload of Figures 5-7.  Background nodes
+    ([zone.(i) = -1]) read close to [background_mean].  Zone nodes have a
+    mean [mean_gap] below it but a variance high enough that each exceeds
+    the background level with probability [exceed_prob] — so every zone is
+    full of apparently equally promising nodes, only a few of which can
+    rank in the top k.
+    @raise Invalid_argument unless [0 < exceed_prob < 0.5]. *)
+
+val scaled : t -> sigma_scale:float -> t
+(** Rescale the field's dispersion around its per-draw mean — used by the
+    variance sweep of Figure 4.  Implemented by drawing an epoch and moving
+    each reading away from the epoch mean by the given factor. *)

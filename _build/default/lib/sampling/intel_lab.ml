@@ -1,0 +1,74 @@
+type t = {
+  layout : Sensor.Placement.t;
+  epochs : float array array;
+  missing_filled : int;
+}
+
+let generate rng ?(rows = 6) ?(cols = 9) ?(spacing = 4.) ?(missing_prob = 0.03)
+    ~epochs () =
+  if epochs < 3 then invalid_arg "Intel_lab.generate: need at least 3 epochs";
+  let layout = Sensor.Placement.grid ~rows ~cols ~spacing in
+  let n = Sensor.Placement.n layout in
+  let width = Float.max layout.Sensor.Placement.width 1. in
+  let height = Float.max layout.Sensor.Placement.height 1. in
+  (* Fixed spatial structure: a warm south-east corner plus per-mote
+     offsets.  The gradient dominates the noise, making top-k locations
+     persistent across epochs. *)
+  let gradient =
+    Array.map
+      (fun p ->
+        3.5 *. (p.Sensor.Placement.x /. width) *. (p.Sensor.Placement.y /. height))
+      layout.Sensor.Placement.positions
+  in
+  let offset = Array.init n (fun _ -> Rng.gaussian rng ~mu:0. ~sigma:0.5) in
+  let noise = Array.make n 0. in
+  let raw =
+    Array.init epochs (fun t ->
+        let diurnal =
+          2.5 *. sin (2. *. Float.pi *. float_of_int t /. 288.)
+        in
+        Array.init n (fun i ->
+            (* AR(1) noise per mote. *)
+            noise.(i) <-
+              (0.8 *. noise.(i)) +. Rng.gaussian rng ~mu:0. ~sigma:0.25;
+            19.5 +. diurnal +. gradient.(i) +. offset.(i) +. noise.(i)))
+  in
+  (* Knock out readings at random, then fill with the prev/next average. *)
+  let missing = Array.make_matrix epochs n false in
+  for t = 0 to epochs - 1 do
+    for i = 0 to n - 1 do
+      if Rng.float rng 1. < missing_prob then missing.(t).(i) <- true
+    done
+  done;
+  let filled = ref 0 in
+  let value_at t i =
+    (* Nearest non-missing epochs before and after, as the paper fills
+       with the average of the prior and subsequent readings. *)
+    let rec back t = if t < 0 then None else if missing.(t).(i) then back (t - 1) else Some raw.(t).(i) in
+    let rec fwd t = if t >= epochs then None else if missing.(t).(i) then fwd (t + 1) else Some raw.(t).(i) in
+    match (back (t - 1), fwd (t + 1)) with
+    | Some a, Some b -> (a +. b) /. 2.
+    | Some a, None -> a
+    | None, Some b -> b
+    | None, None -> raw.(t).(i)
+  in
+  let final =
+    Array.init epochs (fun t ->
+        Array.init n (fun i ->
+            if missing.(t).(i) then begin
+              incr filled;
+              value_at t i
+            end
+            else raw.(t).(i)))
+  in
+  { layout; epochs = final; missing_filled = !filled }
+
+let training_epochs t ~count =
+  if count < 1 || count > Array.length t.epochs then
+    invalid_arg "Intel_lab.training_epochs: bad count";
+  Array.sub t.epochs 0 count
+
+let test_epochs t ~from_ =
+  if from_ < 0 || from_ >= Array.length t.epochs then
+    invalid_arg "Intel_lab.test_epochs: bad index";
+  Array.sub t.epochs from_ (Array.length t.epochs - from_)

@@ -1,0 +1,38 @@
+(** Synthetic stand-in for the Intel Berkeley Research Lab temperature
+    trace used in Figure 9.
+
+    The real 54-mote trace is not distributable with this repository, so we
+    generate a trace with the properties the paper's experiment relies on:
+    - 54 motes on a lab-floor footprint (a 6 x 9 grid here);
+    - temperatures with a diurnal cycle, a fixed spatial gradient (a "warm
+      corner"), per-mote offsets and AR(1) noise — so the hottest locations
+      are highly predictable across epochs, which is exactly why local
+      filtering buys nothing on this dataset (Figure 9's finding);
+    - occasional missing readings, filled with the average of the previous
+      and next epoch at the same mote, as the paper does.
+
+    See DESIGN.md for the substitution rationale. *)
+
+type t = {
+  layout : Sensor.Placement.t;
+  epochs : float array array;  (** [epochs.(t).(i)]: mote [i] at epoch [t] *)
+  missing_filled : int;  (** how many readings were missing and interpolated *)
+}
+
+val generate :
+  Rng.t ->
+  ?rows:int ->
+  ?cols:int ->
+  ?spacing:float ->
+  ?missing_prob:float ->
+  epochs:int ->
+  unit ->
+  t
+(** Defaults: [rows = 6], [cols = 9] (54 motes), [spacing = 4.] meters,
+    [missing_prob = 0.03]. *)
+
+val training_epochs : t -> count:int -> float array array
+(** The first [count] epochs (used as planner samples). *)
+
+val test_epochs : t -> from_:int -> float array array
+(** Epochs from index [from_] on (used to measure plan accuracy). *)

@@ -1,0 +1,88 @@
+let cholesky a =
+  let n = Array.length a in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Mvn.cholesky: not square")
+    a;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Float.abs (a.(i).(j) -. a.(j).(i)) > 1e-9 then
+        invalid_arg "Mvn.cholesky: not symmetric"
+    done
+  done;
+  let l = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref a.(i).(j) in
+      for p = 0 to j - 1 do
+        s := !s -. (l.(i).(p) *. l.(j).(p))
+      done;
+      if i = j then begin
+        if !s <= 1e-12 then invalid_arg "Mvn.cholesky: not positive definite";
+        l.(i).(i) <- sqrt !s
+      end
+      else l.(i).(j) <- !s /. l.(j).(j)
+    done
+  done;
+  l
+
+let field ~means ~covariance =
+  let n = Array.length means in
+  if Array.length covariance <> n then
+    invalid_arg "Mvn.field: dimension mismatch";
+  let l = cholesky covariance in
+  {
+    Field.n;
+    draw =
+      (fun rng ->
+        let z = Array.init n (fun _ -> Rng.gaussian rng ~mu:0. ~sigma:1.) in
+        Array.init n (fun i ->
+            let acc = ref means.(i) in
+            for p = 0 to i do
+              acc := !acc +. (l.(i).(p) *. z.(p))
+            done;
+            !acc));
+    describe = Printf.sprintf "multivariate normal over %d nodes" n;
+  }
+
+let spatial ~positions ~means ?(sill = 4.) ?(range = 30.) ?(nugget = 0.1) () =
+  if sill <= 0. || range <= 0. || nugget < 0. then
+    invalid_arg "Mvn.spatial: bad kernel parameters";
+  let n = Array.length positions in
+  if Array.length means <> n then invalid_arg "Mvn.spatial: means length";
+  let covariance =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            let d = Sensor.Placement.dist positions.(i) positions.(j) in
+            (sill *. exp (-.d /. range)) +. if i = j then nugget else 0.))
+  in
+  field ~means ~covariance
+
+let empirical_covariance rows =
+  let m = Array.length rows in
+  if m < 2 then invalid_arg "Mvn.empirical_covariance: need >= 2 samples";
+  let n = Array.length rows.(0) in
+  let mean = Array.make n 0. in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Mvn.empirical_covariance: ragged rows";
+      Array.iteri (fun i v -> mean.(i) <- mean.(i) +. v) row)
+    rows;
+  Array.iteri (fun i s -> mean.(i) <- s /. float_of_int m) mean;
+  let cov = Array.make_matrix n n 0. in
+  Array.iter
+    (fun row ->
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          cov.(i).(j) <-
+            cov.(i).(j) +. ((row.(i) -. mean.(i)) *. (row.(j) -. mean.(j)))
+        done
+      done)
+    rows;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      cov.(i).(j) <- cov.(i).(j) /. float_of_int (m - 1)
+    done
+  done;
+  cov

@@ -1,0 +1,37 @@
+(** Multivariate normal value fields.
+
+    Section 3: "if a model of the joint distribution is already available,
+    we can use it to generate random samples directly" — the model-driven
+    literature's model of choice being the multivariate Gaussian.  This
+    module samples exact joint draws via a Cholesky factorization, so the
+    planners can be fed model-generated samples instead of (or alongside)
+    historical ones, and supplies a spatially-correlated covariance built
+    from an exponential kernel over node positions. *)
+
+val cholesky : float array array -> float array array
+(** Lower-triangular [l] with [l l^T] equal to the given symmetric
+    positive-definite matrix.
+    @raise Invalid_argument if the matrix is not square, not symmetric
+    (tolerance 1e-9), or not positive definite. *)
+
+val field : means:float array -> covariance:float array array -> Field.t
+(** Draws are [mu + L z] with [z] i.i.d. standard normal.
+    @raise Invalid_argument on dimension mismatch or a bad covariance. *)
+
+val spatial :
+  positions:Sensor.Placement.point array ->
+  means:float array ->
+  ?sill:float ->
+  ?range:float ->
+  ?nugget:float ->
+  unit ->
+  Field.t
+(** Exponential-kernel covariance over the deployment geometry:
+    [cov(i,j) = sill * exp (-dist(i,j) / range)], plus [nugget] added to
+    the diagonal (sensor noise; also keeps the matrix positive definite).
+    Defaults: [sill = 4.], [range = 30.], [nugget = 0.1]. *)
+
+val empirical_covariance : float array array -> float array array
+(** Unbiased sample covariance of rows (one row = one epoch); used for
+    fitting models to history and in tests.
+    @raise Invalid_argument with fewer than two rows. *)

@@ -1,0 +1,68 @@
+type t = {
+  n : int;
+  k : int;
+  values : float array array;
+  ones : int array array;
+  is_one : bool array array;
+  colsum : int array;
+}
+
+let top_k_nodes ~k values =
+  let n = Array.length values in
+  let order = Array.init n (fun i -> i) in
+  (* Sort by value descending, node id ascending on ties. *)
+  Array.sort
+    (fun a b ->
+      match compare values.(b) values.(a) with 0 -> compare a b | c -> c)
+    order;
+  Array.sub order 0 (Int.min k n)
+
+let of_values ~k values =
+  if k < 1 then invalid_arg "Sample_set.of_values: k must be positive";
+  let count = Array.length values in
+  if count = 0 then invalid_arg "Sample_set.of_values: no samples";
+  let n = Array.length values.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Sample_set.of_values: ragged samples")
+    values;
+  let ones = Array.map (fun row -> top_k_nodes ~k row) values in
+  let is_one =
+    Array.map
+      (fun one_row ->
+        let flags = Array.make n false in
+        Array.iter (fun i -> flags.(i) <- true) one_row;
+        flags)
+      ones
+  in
+  let colsum = Array.make n 0 in
+  Array.iter
+    (Array.iter (fun i -> colsum.(i) <- colsum.(i) + 1))
+    ones;
+  { n; k; values; ones; is_one; colsum }
+
+let draw rng field ~k ~count =
+  of_values ~k (Array.init count (fun _ -> field.Field.draw rng))
+
+let n_samples t = Array.length t.values
+
+let restrict t ~count =
+  if count < 1 || count > n_samples t then
+    invalid_arg "Sample_set.restrict: bad count";
+  of_values ~k:t.k (Array.sub t.values 0 count)
+
+let slice t ~offset ~count =
+  if offset < 0 || count < 1 || offset + count > n_samples t then
+    invalid_arg "Sample_set.slice: bad range";
+  of_values ~k:t.k (Array.sub t.values offset count)
+
+let accuracy t ~k ~returned ~sample =
+  let truth = top_k_nodes ~k t.values.(sample) in
+  let returned_set = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace returned_set i ()) returned;
+  let hit = Array.fold_left
+      (fun acc i -> if Hashtbl.mem returned_set i then acc + 1 else acc)
+      0 truth
+  in
+  float_of_int hit /. float_of_int (Array.length truth)

@@ -1,0 +1,41 @@
+(** Sets of past-readings samples and their Boolean top-k matrix (Section 3).
+
+    A sample is one epoch of readings for every node.  The planner-facing
+    view is the Boolean matrix [S] with [S(j, i) = 1] iff node [i]'s reading
+    ranks in the top k of sample [j]; this module precomputes the matrix,
+    its column sums (all P ROSPECTOR G REEDY and LP-LF need), and the
+    [ones(j)] sets used by the LP formulations. *)
+
+type t = private {
+  n : int;  (** number of nodes *)
+  k : int;
+  values : float array array;  (** [values.(j).(i)]: node [i] in sample [j] *)
+  ones : int array array;
+      (** [ones.(j)]: nodes in the top k of sample [j], highest first *)
+  is_one : bool array array;  (** the Boolean matrix itself *)
+  colsum : int array;  (** per node: number of samples whose top k contains it *)
+}
+
+val top_k_nodes : k:int -> float array -> int array
+(** Indices of the [k] largest readings, highest first; ties broken towards
+    the smaller node id (so results are deterministic). *)
+
+val of_values : k:int -> float array array -> t
+(** Build from explicit epochs.  @raise Invalid_argument on ragged rows,
+    an empty sample list, or [k < 1]. *)
+
+val draw : Rng.t -> Field.t -> k:int -> count:int -> t
+(** Draw [count] fresh samples from a field — the "spend extra energy to
+    collect the whole network at random timesteps" maintenance scheme. *)
+
+val n_samples : t -> int
+
+val restrict : t -> count:int -> t
+(** Keep only the first [count] samples (for sample-size experiments). *)
+
+val slice : t -> offset:int -> count:int -> t
+(** Keep [count] samples starting at [offset] (sample-size experiments
+    average over several disjoint slices to damp which-samples noise). *)
+
+val accuracy : t -> k:int -> returned:int list -> sample:int -> float
+(** Fraction of sample [sample]'s true top [k] present in [returned]. *)

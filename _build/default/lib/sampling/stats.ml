@@ -1,0 +1,90 @@
+let mean xs =
+  if Array.length xs = 0 then 0.
+  else Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    ss /. float_of_int (n - 1)
+  end
+
+(* Abramowitz & Stegun 7.1.26; absolute error below 1.5e-7. *)
+let erf x =
+  let sign = if x < 0. then -1. else 1. in
+  let x = Float.abs x in
+  let a1 = 0.254829592
+  and a2 = -0.284496736
+  and a3 = 1.421413741
+  and a4 = -1.453152027
+  and a5 = 1.061405429 in
+  let t = 1. /. (1. +. (0.3275911 *. x)) in
+  let poly = ((((((a5 *. t) +. a4) *. t) +. a3) *. t) +. a2) *. t +. a1 in
+  sign *. (1. -. (poly *. t *. exp (-.x *. x)))
+
+let normal_cdf x = 0.5 *. (1. +. erf (x /. sqrt 2.))
+
+(* Acklam's inverse normal CDF approximation; relative error < 1.15e-9. *)
+let normal_quantile p =
+  if p <= 0. || p >= 1. then
+    invalid_arg "Stats.normal_quantile: p must be in (0, 1)";
+  let a0 = -3.969683028665376e+01
+  and a1 = 2.209460984245205e+02
+  and a2 = -2.759285104469687e+02
+  and a3 = 1.383577518672690e+02
+  and a4 = -3.066479806614716e+01
+  and a5 = 2.506628277459239e+00 in
+  let b0 = -5.447609879822406e+01
+  and b1 = 1.615858368580409e+02
+  and b2 = -1.556989798598866e+02
+  and b3 = 6.680131188771972e+01
+  and b4 = -1.328068155288572e+01 in
+  let c0 = -7.784894002430293e-03
+  and c1 = -3.223964580411365e-01
+  and c2 = -2.400758277161838e+00
+  and c3 = -2.549732539343734e+00
+  and c4 = 4.374664141464968e+00
+  and c5 = 2.938163982698783e+00 in
+  let d0 = 7.784695709041462e-03
+  and d1 = 3.224671290700398e-01
+  and d2 = 2.445134137142996e+00
+  and d3 = 3.754408661907416e+00 in
+  let p_low = 0.02425 in
+  let tail q =
+    let num =
+      (((((((((c0 *. q) +. c1) *. q) +. c2) *. q) +. c3) *. q) +. c4) *. q)
+      +. c5
+    in
+    let den = (((((((d0 *. q) +. d1) *. q) +. d2) *. q) +. d3) *. q) +. 1. in
+    num /. den
+  in
+  if p < p_low then tail (sqrt (-2. *. log p))
+  else if p > 1. -. p_low then -.tail (sqrt (-2. *. log (1. -. p)))
+  else begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    let num =
+      ((((((((((a0 *. r) +. a1) *. r) +. a2) *. r) +. a3) *. r) +. a4) *. r)
+      +. a5)
+      *. q
+    in
+    let den =
+      (((((((((b0 *. r) +. b1) *. r) +. b2) *. r) +. b3) *. r) +. b4) *. r)
+      +. 1.
+    in
+    num /. den
+  end
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0. || p > 1. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = p *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = Int.min (lo + 1) (n - 1) in
+  let frac = pos -. float_of_int lo in
+  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)

@@ -1,0 +1,19 @@
+(** Small statistics toolbox: normal distribution functions and moment
+    helpers used by the field generators and the test suite. *)
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Unbiased sample variance (0. for arrays shorter than 2). *)
+
+val normal_cdf : float -> float
+(** Standard normal CDF, via an Abramowitz–Stegun erf approximation
+    (absolute error below 1.5e-7). *)
+
+val normal_quantile : float -> float
+(** Inverse standard normal CDF (Acklam's approximation, relative error
+    below 1.15e-9).  @raise Invalid_argument outside (0, 1). *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 1]; linear interpolation between
+    order statistics.  The input array is not modified. *)

@@ -1,0 +1,55 @@
+type t = {
+  capacity : int;
+  mutable samples : float array list;  (* newest first *)
+  mutable count : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Window.create: capacity must be positive";
+  { capacity; samples = []; count = 0 }
+
+let add t sample =
+  t.samples <- Array.copy sample :: t.samples;
+  t.count <- t.count + 1;
+  if t.count > t.capacity then begin
+    (* Drop the oldest (last) element. *)
+    t.samples <- List.filteri (fun i _ -> i < t.capacity) t.samples;
+    t.count <- t.capacity
+  end
+
+let length t = t.count
+
+let capacity t = t.capacity
+
+let to_sample_set t ~k =
+  if t.count = 0 then invalid_arg "Window.to_sample_set: empty window";
+  Sample_set.of_values ~k (Array.of_list (List.rev t.samples))
+
+module Policy = struct
+  type t = {
+    base_rate : float;
+    max_rate : float;
+    target_accuracy : float;
+    mutable current : float;
+  }
+
+  let create ?(base_rate = 0.02) ?(max_rate = 0.5) ?(target_accuracy = 0.9) ()
+      =
+    if base_rate <= 0. || base_rate > max_rate || max_rate > 1. then
+      invalid_arg "Window.Policy.create: bad rates";
+    { base_rate; max_rate; target_accuracy; current = base_rate }
+
+  let observe_accuracy t acc =
+    if acc < t.target_accuracy then
+      (* Escalate proportionally to the shortfall. *)
+      t.current <-
+        Float.min t.max_rate
+          (t.current *. (1. +. (2. *. (t.target_accuracy -. acc))))
+    else
+      (* Geometric decay back towards the base rate. *)
+      t.current <- Float.max t.base_rate (t.current *. 0.8)
+
+  let rate t = t.current
+
+  let should_sample t rng = Rng.float rng 1. < t.current
+end

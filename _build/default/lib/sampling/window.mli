@@ -1,0 +1,43 @@
+(** Sliding window of recent samples with an adaptive re-sampling policy
+    (Section 4.4, "Re-sampling").
+
+    The network is re-sampled at random timesteps; the window keeps the
+    most recent samples and expires old ones, naturally adapting the
+    planner's view to drift in the joint distribution.  The policy tracks
+    the accuracy observed when a proof-carrying plan runs and raises the
+    re-sampling rate when accuracy degrades. *)
+
+type t
+
+val create : capacity:int -> t
+(** An empty window holding at most [capacity] samples. *)
+
+val add : t -> float array -> unit
+(** Append one full-network sample, expiring the oldest beyond capacity. *)
+
+val length : t -> int
+
+val capacity : t -> int
+
+val to_sample_set : t -> k:int -> Sample_set.t
+(** @raise Invalid_argument if the window is empty. *)
+
+(** Adaptive re-sampling rate. *)
+module Policy : sig
+  type nonrec t
+
+  val create :
+    ?base_rate:float -> ?max_rate:float -> ?target_accuracy:float -> unit -> t
+  (** Defaults: probe with probability [base_rate = 0.02] per epoch, at
+      most [max_rate = 0.5], aiming for [target_accuracy = 0.9]. *)
+
+  val observe_accuracy : t -> float -> unit
+  (** Feed the accuracy measured by a proof-carrying (or exact) run; rates
+      rise when accuracy is below target and decay back otherwise. *)
+
+  val rate : t -> float
+
+  val should_sample : t -> Rng.t -> bool
+  (** Decide whether to spend the energy on a full-network sample at the
+      current epoch. *)
+end

@@ -1,0 +1,1 @@
+lib/sensor/cost.ml: Array Failure Mica2 Topology

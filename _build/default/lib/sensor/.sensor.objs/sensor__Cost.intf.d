@@ -1,0 +1,1 @@
+lib/sensor/cost.mli: Failure Mica2 Topology

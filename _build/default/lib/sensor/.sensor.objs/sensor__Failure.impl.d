@@ -1,0 +1,1 @@
+lib/sensor/failure.ml: Array Rng

@@ -1,0 +1,1 @@
+lib/sensor/mica2.mli: Format

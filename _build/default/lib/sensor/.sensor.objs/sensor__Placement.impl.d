@@ -1,0 +1,1 @@
+lib/sensor/placement.ml: Array Float Format Rng

@@ -1,0 +1,1 @@
+lib/sensor/placement.mli: Format Rng

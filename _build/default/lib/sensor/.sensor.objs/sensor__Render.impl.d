@@ -1,0 +1,1 @@
+lib/sensor/render.ml: Array Buffer Format Printf Topology

@@ -1,0 +1,1 @@
+lib/sensor/render.mli: Format Topology

@@ -1,0 +1,1 @@
+lib/sensor/topology.ml: Array Float Format Int List Placement Queue Stack

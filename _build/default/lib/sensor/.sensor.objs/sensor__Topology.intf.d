@@ -1,0 +1,1 @@
+lib/sensor/topology.mli: Format Placement

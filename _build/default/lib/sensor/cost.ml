@@ -1,0 +1,25 @@
+type t = { per_message : float array; per_value : float array }
+
+let of_mica2 topo mica =
+  let n = topo.Topology.n in
+  {
+    per_message = Array.make n mica.Mica2.per_message_mj;
+    per_value =
+      Array.make n
+        (Mica2.per_byte_mj mica *. float_of_int mica.Mica2.bytes_per_value);
+  }
+
+let with_failures t failure =
+  let inflate arr =
+    Array.mapi (fun i c -> c *. Failure.expected_multiplier failure i) arr
+  in
+  { per_message = inflate t.per_message; per_value = inflate t.per_value }
+
+let message_mj t ~node ~values =
+  t.per_message.(node) +. (float_of_int values *. t.per_value.(node))
+
+let scale t f =
+  {
+    per_message = Array.map (fun c -> c *. f) t.per_message;
+    per_value = Array.map (fun c -> c *. f) t.per_value;
+  }

@@ -1,0 +1,21 @@
+(** Per-edge communication cost model consumed by the query planners.
+
+    Each non-root node [i] owns the edge to its parent; sending a message
+    with [v] values over it costs [per_message.(i) + v * per_value.(i)].
+    The plain model charges the {!Mica2} constants uniformly; failure
+    statistics inflate individual edges (Section 4.4). *)
+
+type t = {
+  per_message : float array;  (** indexed by node; entry at the root unused *)
+  per_value : float array;
+}
+
+val of_mica2 : Topology.t -> Mica2.t -> t
+
+val with_failures : t -> Failure.t -> t
+(** Inflate each edge by its expected failure multiplier. *)
+
+val message_mj : t -> node:int -> values:int -> float
+(** Cost of one unicast carrying [values] readings on the node's uplink. *)
+
+val scale : t -> float -> t

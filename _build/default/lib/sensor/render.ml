@@ -1,0 +1,24 @@
+let tree ?(annotate = fun _ -> "") topo =
+  let buf = Buffer.create 1024 in
+  let line prefix node =
+    let note = annotate node in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%d%s\n" prefix node
+         (if note = "" then "" else " " ^ note))
+  in
+  let rec visit prefix child_prefix node =
+    line prefix node;
+    let kids = topo.Topology.children.(node) in
+    let last = Array.length kids - 1 in
+    Array.iteri
+      (fun idx c ->
+        if idx = last then
+          visit (child_prefix ^ "`-- ") (child_prefix ^ "    ") c
+        else visit (child_prefix ^ "|-- ") (child_prefix ^ "|   ") c)
+      kids
+  in
+  visit "" "" topo.Topology.root;
+  Buffer.contents buf
+
+let pp_tree ?annotate ppf topo =
+  Format.pp_print_string ppf (tree ?annotate topo)

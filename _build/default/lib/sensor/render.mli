@@ -1,0 +1,12 @@
+(** Plain-text rendering of spanning trees, for CLI output and debugging.
+
+    Children are listed in id order with box-drawing guides; a caller
+    annotation (e.g. a plan's bandwidth, a reading) is appended to each
+    node's line. *)
+
+val tree : ?annotate:(int -> string) -> Topology.t -> string
+(** Multi-line rendering, root first.  [annotate] defaults to the empty
+    annotation. *)
+
+val pp_tree :
+  ?annotate:(int -> string) -> Format.formatter -> Topology.t -> unit

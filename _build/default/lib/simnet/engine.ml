@@ -1,0 +1,163 @@
+type 'msg api = {
+  self : int;
+  time : unit -> float;
+  send : dst:int -> 'msg -> unit;
+  broadcast_children : 'msg -> unit;
+  multicast : dsts:int list -> 'msg -> unit;
+  set_timer : delay:float -> (unit -> unit) -> unit;
+}
+
+type 'msg event =
+  | Deliver of { dst : int; src : int; msg : 'msg }
+  | Timer of { node : int; callback : unit -> unit }
+
+type 'msg t = {
+  topo : Sensor.Topology.t;
+  mica : Sensor.Mica2.t;
+  failure : (Sensor.Failure.t * Rng.t) option;
+  payload_bytes : 'msg -> int;
+  queue : 'msg event Event_queue.t;
+  handlers : ('msg api -> src:int -> 'msg -> unit) option array;
+  energy : float array;
+  mutable now : float;
+  mutable unicasts : int;
+  mutable broadcasts : int;
+  mutable reroutes : int;
+}
+
+(* Fixed MAC overhead per transmission, seconds. *)
+let mac_delay = 0.005
+
+let create topo mica ?failure ~payload_bytes () =
+  {
+    topo;
+    mica;
+    failure;
+    payload_bytes;
+    queue = Event_queue.create ();
+    handlers = Array.make topo.Sensor.Topology.n None;
+    energy = Array.make topo.Sensor.Topology.n 0.;
+    now = 0.;
+    unicasts = 0;
+    broadcasts = 0;
+    reroutes = 0;
+  }
+
+let on_message t ~node handler = t.handlers.(node) <- Some handler
+
+let is_neighbor t a b =
+  t.topo.Sensor.Topology.parent.(a) = b || t.topo.Sensor.Topology.parent.(b) = a
+
+let transmission_delay t bytes =
+  mac_delay +. (float_of_int bytes /. t.mica.Sensor.Mica2.bytes_per_sec)
+
+(* The per-message cost is split between sender and receiver in proportion
+   to their power draws, so ledgers sum exactly to the Mica2 unicast cost. *)
+let charge_unicast t ~src ~dst ~bytes ~multiplier =
+  let total = Sensor.Mica2.unicast_bytes_mj t.mica ~bytes *. multiplier in
+  let s = t.mica.Sensor.Mica2.send_mw in
+  let r = t.mica.Sensor.Mica2.recv_mw in
+  let sender_share = s /. (s +. r) in
+  t.energy.(src) <- t.energy.(src) +. (total *. sender_share);
+  t.energy.(dst) <- t.energy.(dst) +. (total *. (1. -. sender_share))
+
+let unicast t ~src ~dst msg =
+  if not (is_neighbor t src dst) then
+    invalid_arg
+      (Printf.sprintf "Engine.send: %d and %d are not tree neighbours" src dst);
+  let bytes = t.payload_bytes msg in
+  (* Edge identity: the non-parent endpoint owns the edge. *)
+  let edge = if t.topo.Sensor.Topology.parent.(src) = dst then src else dst in
+  let multiplier, extra_delay =
+    match t.failure with
+    | None -> (1., 0.)
+    | Some (f, rng) ->
+        if Rng.float rng 1. < f.Sensor.Failure.fail_prob.(edge) then begin
+          t.reroutes <- t.reroutes + 1;
+          (f.Sensor.Failure.reroute_factor.(edge), transmission_delay t bytes)
+        end
+        else (1., 0.)
+  in
+  charge_unicast t ~src ~dst ~bytes ~multiplier;
+  t.unicasts <- t.unicasts + 1;
+  Event_queue.add t.queue
+    ~time:(t.now +. transmission_delay t bytes +. extra_delay)
+    (Deliver { dst; src; msg })
+
+let broadcast_to t ~src kids msg =
+  let bytes = t.payload_bytes msg in
+  let cost =
+    Sensor.Mica2.broadcast_mj t.mica ~receivers:(Array.length kids) ~bytes
+  in
+  (* The sender fronts the overhead and its bytes; receivers pay theirs. *)
+  let recv_share =
+    Sensor.Mica2.recv_byte_mj t.mica *. float_of_int bytes
+  in
+  t.energy.(src) <- t.energy.(src) +. (cost -. (recv_share *. float_of_int (Array.length kids)));
+  Array.iter
+    (fun child ->
+      t.energy.(child) <- t.energy.(child) +. recv_share;
+      Event_queue.add t.queue
+        ~time:(t.now +. transmission_delay t bytes)
+        (Deliver { dst = child; src; msg }))
+    kids;
+  t.broadcasts <- t.broadcasts + 1
+
+let broadcast t ~src msg =
+  broadcast_to t ~src t.topo.Sensor.Topology.children.(src) msg
+
+let multicast t ~src ~dsts msg =
+  List.iter
+    (fun d ->
+      if t.topo.Sensor.Topology.parent.(d) <> src then
+        invalid_arg "Engine.multicast: destination is not a child")
+    dsts;
+  broadcast_to t ~src (Array.of_list dsts) msg
+
+let api_for t node =
+  {
+    self = node;
+    time = (fun () -> t.now);
+    send = (fun ~dst msg -> unicast t ~src:node ~dst msg);
+    broadcast_children = (fun msg -> broadcast t ~src:node msg);
+    multicast = (fun ~dsts msg -> multicast t ~src:node ~dsts msg);
+    set_timer =
+      (fun ~delay callback ->
+        if delay < 0. then invalid_arg "Engine.set_timer: negative delay";
+        Event_queue.add t.queue ~time:(t.now +. delay)
+          (Timer { node; callback }));
+  }
+
+let inject t ~node ?at msg =
+  let time = match at with Some x -> x | None -> t.now in
+  Event_queue.add t.queue ~time (Deliver { dst = node; src = -1; msg })
+
+let run ?(max_events = 10_000_000) t =
+  let events = ref 0 in
+  let rec loop () =
+    match Event_queue.pop t.queue with
+    | None -> t.now
+    | Some (time, event) ->
+        incr events;
+        if !events > max_events then
+          failwith "Engine.run: event budget exceeded (livelock?)";
+        t.now <- Float.max t.now time;
+        (match event with
+        | Timer { callback; _ } -> callback ()
+        | Deliver { dst; src; msg } -> (
+            match t.handlers.(dst) with
+            | None -> ()
+            | Some handler -> handler (api_for t dst) ~src msg));
+        loop ()
+  in
+  loop ()
+
+let energy_of t node = t.energy.(node)
+
+let total_energy t = Array.fold_left ( +. ) 0. t.energy
+
+let unicasts_sent t = t.unicasts
+
+let broadcasts_sent t = t.broadcasts
+
+let reroutes t = t.reroutes

@@ -1,0 +1,66 @@
+(** Discrete-event simulator of a mote network organized as a spanning tree.
+
+    Nodes exchange messages only with tree neighbours (parent and
+    children), matching the paper's collection/distribution phases.  The
+    engine charges every transmission to per-node energy ledgers using the
+    {!Sensor.Mica2} model — the same constants the planners use — so
+    analytic plan costs can be validated against simulated executions.
+    Transient link failures (if a {!Sensor.Failure} model is supplied) make
+    the reliable protocol re-route, inflating cost and latency but never
+    dropping a message.
+
+    The engine is polymorphic in the message type; the [payload_bytes]
+    function supplied at creation determines the wire size of each
+    message. *)
+
+type 'msg t
+
+type 'msg api = {
+  self : int;  (** the node running the handler *)
+  time : unit -> float;  (** current simulation time, seconds *)
+  send : dst:int -> 'msg -> unit;
+      (** unicast to the parent or a child.
+          @raise Invalid_argument if [dst] is not a tree neighbour *)
+  broadcast_children : 'msg -> unit;
+      (** one local broadcast heard by all children *)
+  multicast : dsts:int list -> 'msg -> unit;
+      (** one local broadcast heard only by the listed children (the
+          others are assumed asleep and pay nothing).
+          @raise Invalid_argument if some destination is not a child *)
+  set_timer : delay:float -> (unit -> unit) -> unit;
+}
+
+val create :
+  Sensor.Topology.t ->
+  Sensor.Mica2.t ->
+  ?failure:Sensor.Failure.t * Rng.t ->
+  payload_bytes:('msg -> int) ->
+  unit ->
+  'msg t
+
+val on_message : 'msg t -> node:int -> ('msg api -> src:int -> 'msg -> unit) -> unit
+(** Install the message handler of a node (replacing any previous one).
+    Messages to a node without a handler are counted but dropped. *)
+
+val inject : 'msg t -> node:int -> ?at:float -> 'msg -> unit
+(** Deliver a message to [node] from outside the network (e.g. the query
+    station kicking off execution at the root); no radio energy is
+    charged. *)
+
+val run : ?max_events:int -> 'msg t -> float
+(** Process events until the queue drains; returns the final simulation
+    time.  @raise Failure if [max_events] (default 10_000_000) is
+    exceeded, which indicates a protocol that never quiesces. *)
+
+val energy_of : 'msg t -> int -> float
+(** Total energy charged to one node so far, mJ. *)
+
+val total_energy : 'msg t -> float
+
+val unicasts_sent : 'msg t -> int
+
+val broadcasts_sent : 'msg t -> int
+
+val reroutes : 'msg t -> int
+(** Number of transmissions that hit a transient failure and paid the
+    re-routing premium. *)

@@ -1,0 +1,21 @@
+(** Priority queue of timestamped events for the discrete-event engine.
+
+    Events with equal timestamps are delivered in insertion order (a
+    monotone sequence number breaks ties), which keeps simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val add : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument on a NaN time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,1 @@
+test/core/test_extensions.ml: Alcotest Array Int List Prospector QCheck QCheck_alcotest Rng Sampling Sensor

@@ -1,0 +1,1 @@
+test/core/test_protocols.ml: Alcotest Array Float Int List Prospector QCheck QCheck_alcotest Rng Sensor

@@ -1,0 +1,236 @@
+(* Tests for the extension modules: generalized subset planning/execution,
+   the plan re-calculation policy, and the lifetime model. *)
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let mica = Sensor.Mica2.default
+
+let chain n = Sensor.Topology.of_parents ~root:0 (Array.init n (fun i -> i - 1))
+
+let random_tree rng n =
+  let parent = Array.init n (fun i -> if i = 0 then -1 else Rng.int rng i) in
+  Sensor.Topology.of_parents ~root:0 parent
+
+(* ---------- Subset_exec ---------- *)
+
+let test_subset_exec_ships_exactly_chosen () =
+  let topo = chain 4 in
+  let cost = Sensor.Cost.of_mica2 topo mica in
+  let chosen = [| false; false; true; true |] in
+  let readings = [| 10.; 1.; 2.; 3. |] in
+  let o = Prospector.Subset_exec.collect topo cost ~chosen ~readings in
+  ignore Prospector.Exec.value_order;
+  Alcotest.(check (list int)) "root + chosen" [ 0; 2; 3 ]
+    (List.sort compare (List.map fst o.Prospector.Subset_exec.received));
+  (* Node 3 sends 1 value, node 2 sends 2, node 1 relays 2. *)
+  Alcotest.(check int) "values" 5 o.Prospector.Subset_exec.values_sent;
+  Alcotest.(check int) "messages" 3 o.Prospector.Subset_exec.messages;
+  check_float "energy"
+    (Sensor.Cost.message_mj cost ~node:3 ~values:1
+    +. Sensor.Cost.message_mj cost ~node:2 ~values:2
+    +. Sensor.Cost.message_mj cost ~node:1 ~values:2)
+    o.Prospector.Subset_exec.collection_mj
+
+let test_subset_exec_no_filtering () =
+  (* Unlike the top-k executor, small chosen values survive relays with
+     larger readings of their own. *)
+  let topo = chain 3 in
+  let cost = Sensor.Cost.of_mica2 topo mica in
+  let chosen = [| false; false; true |] in
+  let readings = [| 0.; 99.; 1. |] in
+  let o = Prospector.Subset_exec.collect topo cost ~chosen ~readings in
+  Alcotest.(check bool) "small value delivered" true
+    (List.mem (2, 1.) o.Prospector.Subset_exec.received)
+
+let test_subset_recall () =
+  let received = [ (1, 5.); (2, 3.) ] in
+  check_float "half" 0.5 (Prospector.Subset_exec.recall ~truth:[| 1; 7 |] received);
+  check_float "empty truth" 1. (Prospector.Subset_exec.recall ~truth:[||] received)
+
+let test_quantile_estimate () =
+  let received = [ (0, 1.); (1, 2.); (2, 3.); (3, 4.) ] in
+  (match Prospector.Subset_exec.quantile_estimate ~phi:0.5 received with
+  | Some v -> check_float "median interpolated" 2.5 v
+  | None -> Alcotest.fail "expected estimate");
+  Alcotest.(check bool) "empty gives none" true
+    (Prospector.Subset_exec.quantile_estimate ~phi:0.5 [] = None)
+
+(* With enough budget the subset planner covers every answer entry and
+   execution achieves full recall on the training samples. *)
+let subset_planner_full_budget_recall =
+  QCheck.Test.make ~name:"subset planner: full budget gives full recall"
+    ~count:100
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create (seed + 41) in
+      let n = 3 + Rng.int rng 25 in
+      let topo = random_tree rng n in
+      let cost = Sensor.Cost.of_mica2 topo mica in
+      let values =
+        Array.init (1 + Rng.int rng 8) (fun _ ->
+            Array.init n (fun _ -> Rng.gaussian rng ~mu:20. ~sigma:4.))
+      in
+      let answers = Sampling.Answers.selection ~threshold:20. values in
+      let r = Prospector.Subset_planner.plan topo cost answers ~budget:1e9 in
+      Array.for_all
+        (fun readings ->
+          let o =
+            Prospector.Subset_exec.collect topo cost ~chosen:r.Prospector.Subset_planner.chosen
+              ~readings
+          in
+          let truth = ref [] in
+          Array.iteri (fun i v -> if v > 20. then truth := i :: !truth) readings;
+          Prospector.Subset_exec.recall ~truth:(Array.of_list !truth)
+            o.Prospector.Subset_exec.received
+          >= 1. -. 1e-9)
+        values)
+
+let subset_planner_budget_grows_recall =
+  QCheck.Test.make ~name:"subset planner: recall grows with budget" ~count:60
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create (seed + 42) in
+      let n = 5 + Rng.int rng 25 in
+      let topo = random_tree rng n in
+      let cost = Sensor.Cost.of_mica2 topo mica in
+      let values =
+        Array.init 6 (fun _ ->
+            Array.init n (fun _ -> Rng.gaussian rng ~mu:20. ~sigma:4.))
+      in
+      let answers = Sampling.Answers.selection ~threshold:22. values in
+      let objective budget =
+        (Prospector.Subset_planner.plan topo cost answers ~budget).Prospector.Subset_planner
+          .lp_objective
+      in
+      let b = 2. +. Rng.float rng 20. in
+      objective (b +. 10.) >= objective b -. 1e-6)
+
+(* ---------- Replan ---------- *)
+
+let replan_setup seed =
+  let rng = Rng.create seed in
+  let n = 25 in
+  let topo = random_tree rng n in
+  let cost = Sensor.Cost.of_mica2 topo mica in
+  let field =
+    Sampling.Field.random_gaussian rng ~n ~mean_lo:18. ~mean_hi:26.
+      ~sigma_lo:1. ~sigma_hi:3.
+  in
+  let samples = Sampling.Sample_set.draw rng field ~k:4 ~count:10 in
+  (topo, cost, samples)
+
+let test_replan_keeps_equal_plan () =
+  let topo, cost, samples = replan_setup 1 in
+  let budget = 25. in
+  let good = (Prospector.Lp_lf.plan topo cost samples ~budget ~k:4).Prospector.Lp_lf.plan in
+  let state = Prospector.Replan.create ~initial:good () in
+  (* Re-considering against the same samples finds no better plan. *)
+  match Prospector.Replan.consider state topo cost mica samples ~k:4 ~budget with
+  | Prospector.Replan.Kept -> Alcotest.(check int) "no replans" 0 (Prospector.Replan.replans state)
+  | Prospector.Replan.Disseminated _ -> Alcotest.fail "should have kept the plan"
+
+let test_replan_upgrades_empty_plan () =
+  let topo, cost, samples = replan_setup 2 in
+  let budget = 25. in
+  let empty = Prospector.Plan.make topo (Array.make topo.Sensor.Topology.n 0) in
+  let state = Prospector.Replan.create ~initial:empty () in
+  match Prospector.Replan.consider state topo cost mica samples ~k:4 ~budget with
+  | Prospector.Replan.Disseminated plan ->
+      Alcotest.(check int) "one replan" 1 (Prospector.Replan.replans state);
+      Alcotest.(check bool) "plan not empty" true (Prospector.Plan.total_bandwidth plan > 0);
+      Alcotest.(check bool) "current updated" true
+        (Prospector.Replan.current state == plan)
+  | Prospector.Replan.Kept -> Alcotest.fail "should have disseminated"
+
+let test_replan_force () =
+  let topo, _, _ = replan_setup 3 in
+  let a = Prospector.Plan.make topo (Array.make topo.Sensor.Topology.n 0) in
+  let b = Prospector.Proof_exec.min_bandwidth_plan topo in
+  let state = Prospector.Replan.create ~initial:a () in
+  Prospector.Replan.force state b;
+  Alcotest.(check int) "counted" 1 (Prospector.Replan.replans state);
+  Alcotest.(check bool) "installed" true (Prospector.Replan.current state == b)
+
+let test_expected_accuracy_bounds () =
+  let topo, cost, samples = replan_setup 4 in
+  let full =
+    Prospector.Plan.make topo
+      (Array.mapi
+         (fun i size -> if i = 0 then 0 else Int.min size 4)
+         topo.Sensor.Topology.subtree_size)
+  in
+  check_float "full plan is perfect on samples" 1.
+    (Prospector.Replan.expected_accuracy topo cost full ~k:4 samples);
+  let empty = Prospector.Plan.make topo (Array.make topo.Sensor.Topology.n 0) in
+  Alcotest.(check bool) "empty plan is poor" true
+    (Prospector.Replan.expected_accuracy topo cost empty ~k:4 samples < 0.5)
+
+(* ---------- Lifetime ---------- *)
+
+let test_lifetime_profile () =
+  let lt = Prospector.Lifetime.of_profile ~battery_j:10. [| 0.; 2.; 5.; 1. |] in
+  Alcotest.(check int) "bottleneck" 2 lt.Prospector.Lifetime.bottleneck;
+  check_float "runs" 2000. lt.Prospector.Lifetime.runs;
+  check_float "worst" 5. lt.Prospector.Lifetime.bottleneck_mj_per_run;
+  check_float "mean" 2. lt.Prospector.Lifetime.mean_mj_per_run
+
+let test_lifetime_rejects_idle_network () =
+  Alcotest.check_raises "all idle"
+    (Invalid_argument "Lifetime.of_profile: no node consumes energy")
+    (fun () -> ignore (Prospector.Lifetime.of_profile ~battery_j:10. [| 0.; 0. |]))
+
+let lifetime_bottleneck_near_root =
+  QCheck.Test.make
+    ~name:"full-collection bottleneck is an internal node" ~count:60
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create (seed + 43) in
+      let n = 5 + Rng.int rng 30 in
+      let topo = random_tree rng n in
+      let readings = Array.init n (fun _ -> Rng.gaussian rng ~mu:20. ~sigma:3.) in
+      let plan =
+        Prospector.Plan.make topo
+          (Array.mapi
+             (fun i size -> if i = 0 then 0 else Int.min size 5)
+             topo.Sensor.Topology.subtree_size)
+      in
+      let lt = Prospector.Lifetime.of_plan topo mica plan ~k:5 ~readings ~battery_j:100. in
+      (* The heaviest drain is never at a leaf: every internal node both
+         receives its children's traffic and forwards more values than
+         any single leaf sends. *)
+      Array.length topo.Sensor.Topology.children.(lt.Prospector.Lifetime.bottleneck)
+      > 0)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      subset_planner_full_budget_recall;
+      subset_planner_budget_grows_recall;
+      lifetime_bottleneck_near_root;
+    ]
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "subset",
+        [
+          Alcotest.test_case "ships exactly the chosen" `Quick
+            test_subset_exec_ships_exactly_chosen;
+          Alcotest.test_case "no local filtering" `Quick test_subset_exec_no_filtering;
+          Alcotest.test_case "recall" `Quick test_subset_recall;
+          Alcotest.test_case "quantile estimate" `Quick test_quantile_estimate;
+        ] );
+      ( "replan",
+        [
+          Alcotest.test_case "keeps an equal plan" `Quick test_replan_keeps_equal_plan;
+          Alcotest.test_case "upgrades an empty plan" `Quick test_replan_upgrades_empty_plan;
+          Alcotest.test_case "force install" `Quick test_replan_force;
+          Alcotest.test_case "expected accuracy" `Quick test_expected_accuracy_bounds;
+        ] );
+      ( "lifetime",
+        [
+          Alcotest.test_case "profile arithmetic" `Quick test_lifetime_profile;
+          Alcotest.test_case "idle network rejected" `Quick test_lifetime_rejects_idle_network;
+        ] );
+      ("properties", qcheck_cases);
+    ]

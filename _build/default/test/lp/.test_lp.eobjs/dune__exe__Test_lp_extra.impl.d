@@ -1,0 +1,1 @@
+test/lp/test_lp_extra.ml: Alcotest Array Float List Lp Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/lp/test_lp_presolve.mli:

@@ -1,0 +1,175 @@
+(* Tests for the presolve reductions and the LP-format exporter. *)
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* A helper: build a Problem directly (equality form). *)
+let problem ~nrows ~cols ~obj ~lower ~upper ~rhs =
+  {
+    Lp.Problem.nrows;
+    ncols = Array.length cols;
+    cols = Array.map Lp.Sparse_vec.of_assoc cols;
+    obj;
+    lower;
+    upper;
+    rhs;
+    basis_hint = None;
+  }
+
+let test_presolve_fixed_vars () =
+  (* x fixed at 2 by its bounds; row x + y = 5 should reduce to y = 3. *)
+  let p =
+    problem ~nrows:1
+      ~cols:[| [ (0, 1.) ]; [ (0, 1.) ] |]
+      ~obj:[| 0.; 1. |] ~lower:[| 2.; 0. |] ~upper:[| 2.; 10. |] ~rhs:[| 5. |]
+  in
+  match Lp.Presolve.apply p with
+  | Lp.Presolve.Reduced (reduced, postsolve) ->
+      (* y itself becomes a singleton row and is pinned too. *)
+      Alcotest.(check int) "everything pinned" 0 reduced.Lp.Problem.ncols;
+      let x = postsolve [||] in
+      check_float "x kept" 2. x.(0);
+      check_float "y solved" 3. x.(1)
+  | _ -> Alcotest.fail "expected Reduced"
+
+let test_presolve_infeasible_fixed () =
+  (* Both variables fixed but the row cannot hold. *)
+  let p =
+    problem ~nrows:1
+      ~cols:[| [ (0, 1.) ]; [ (0, 1.) ] |]
+      ~obj:[| 0.; 0. |] ~lower:[| 2.; 2. |] ~upper:[| 2.; 2. |] ~rhs:[| 5. |]
+  in
+  Alcotest.(check bool) "infeasible detected" true
+    (Lp.Presolve.apply p = Lp.Presolve.Infeasible_detected)
+
+let test_presolve_empty_row () =
+  let p =
+    problem ~nrows:2
+      ~cols:[| [ (0, 1.) ] |]
+      ~obj:[| 1. |] ~lower:[| 0. |] ~upper:[| 9. |] ~rhs:[| 3.; 0. |]
+  in
+  match Lp.Presolve.apply p with
+  | Lp.Presolve.Reduced (_, postsolve) ->
+      check_float "singleton row pins x" 3. (postsolve [||]).(0)
+  | _ -> Alcotest.fail "expected Reduced"
+
+let test_presolve_empty_row_infeasible () =
+  let p =
+    problem ~nrows:1 ~cols:[||] ~obj:[||] ~lower:[||] ~upper:[||] ~rhs:[| 1. |]
+  in
+  Alcotest.(check bool) "empty row with rhs" true
+    (Lp.Presolve.apply p = Lp.Presolve.Infeasible_detected)
+
+let test_presolve_unbounded_column () =
+  (* A free column with negative cost (minimization) and no rows. *)
+  let p =
+    problem ~nrows:0 ~cols:[| [] |] ~obj:[| -1. |] ~lower:[| 0. |]
+      ~upper:[| infinity |] ~rhs:[||]
+  in
+  Alcotest.(check bool) "unbounded detected" true
+    (Lp.Presolve.apply p = Lp.Presolve.Unbounded_detected)
+
+let test_presolve_empty_column_fixed_at_best () =
+  let p =
+    problem ~nrows:0
+      ~cols:[| []; [] |]
+      ~obj:[| 1.; -1. |] ~lower:[| 2.; 0. |] ~upper:[| 9.; 7. |] ~rhs:[||]
+  in
+  match Lp.Presolve.apply p with
+  | Lp.Presolve.Reduced (_, postsolve) ->
+      let x = postsolve [||] in
+      check_float "positive cost at lower" 2. x.(0);
+      check_float "negative cost at upper" 7. x.(1)
+  | _ -> Alcotest.fail "expected Reduced"
+
+let presolve_preserves_optimum =
+  QCheck.Test.make ~name:"presolve preserves the optimum" ~count:300
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rand = Random.State.make [| seed + 555 |] in
+      let nvars = 2 + Random.State.int rand 8 in
+      let m = Lp.Model.create ~direction:Lp.Model.Maximize () in
+      let vars =
+        Array.init nvars (fun i ->
+            (* A few variables are fixed outright to feed the reductions. *)
+            let fixed = Random.State.float rand 1. < 0.3 in
+            let lo = if fixed then Random.State.float rand 3. else 0. in
+            let hi = if fixed then lo else float_of_int (2 + Random.State.int rand 8) in
+            Lp.Model.add_var m ~lower:lo ~upper:hi
+              ~obj:(Random.State.float rand 4. -. 1.)
+              (Printf.sprintf "x%d" i))
+      in
+      for _ = 1 to 1 + Random.State.int rand 6 do
+        let terms = ref [] in
+        Array.iter
+          (fun v ->
+            if Random.State.float rand 1. < 0.4 then
+              terms := (Random.State.float rand 3., v) :: !terms)
+          vars;
+        Lp.Model.add_le m !terms (5. +. Random.State.float rand 20.)
+      done;
+      let plain = Lp.Model.solve m in
+      let pre = Lp.Model.solve ~presolve:true m in
+      match (plain.Lp.Model.status, pre.Lp.Model.status) with
+      | Lp.Model.Optimal, Lp.Model.Optimal ->
+          Float.abs (plain.Lp.Model.objective -. pre.Lp.Model.objective)
+          <= 1e-5 *. (1. +. Float.abs plain.Lp.Model.objective)
+      | a, b -> a = b)
+
+(* ---------- Lp_format ---------- *)
+
+let test_lp_format_structure () =
+  let m = Lp.Model.create ~direction:Lp.Model.Maximize () in
+  let x = Lp.Model.add_var m ~obj:3. ~upper:4. "x" in
+  let y = Lp.Model.add_var m ~obj:5. ~lower:neg_infinity "rate (%)" in
+  Lp.Model.add_le m ~name:"cap" [ (3., x); (2., y) ] 18.;
+  Lp.Model.add_eq m [ (1., y) ] 2.;
+  let text = Lp.Lp_format.to_string m in
+  let has s =
+    let n = String.length s and ln = String.length text in
+    let rec go i = i + n <= ln && (String.sub text i n = s || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "maximize header" true (has "Maximize");
+  Alcotest.(check bool) "objective terms" true (has "3 x_0");
+  Alcotest.(check bool) "named constraint" true (has "cap_0:");
+  Alcotest.(check bool) "operator" true (has "<= 18");
+  Alcotest.(check bool) "equality" true (has "= 2");
+  Alcotest.(check bool) "sanitized name" true (has "rate_____1");
+  Alcotest.(check bool) "bounds section" true (has "Bounds");
+  Alcotest.(check bool) "upper bound" true (has "x_0 <= 4");
+  Alcotest.(check bool) "end marker" true (has "End")
+
+let test_lp_format_free_var () =
+  let m = Lp.Model.create () in
+  ignore
+    (Lp.Model.add_var m ~lower:neg_infinity ~upper:infinity ~obj:1. "f");
+  let text = Lp.Lp_format.to_string m in
+  let has s =
+    let n = String.length s and ln = String.length text in
+    let rec go i = i + n <= ln && (String.sub text i n = s || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "free declaration" true (has "f_0 free")
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ presolve_preserves_optimum ]
+
+let () =
+  Alcotest.run "lp_presolve"
+    [
+      ( "presolve",
+        [
+          Alcotest.test_case "fixed variables substituted" `Quick test_presolve_fixed_vars;
+          Alcotest.test_case "infeasible fixed point" `Quick test_presolve_infeasible_fixed;
+          Alcotest.test_case "empty/singleton rows" `Quick test_presolve_empty_row;
+          Alcotest.test_case "empty row infeasible" `Quick test_presolve_empty_row_infeasible;
+          Alcotest.test_case "unbounded column" `Quick test_presolve_unbounded_column;
+          Alcotest.test_case "empty columns pinned" `Quick test_presolve_empty_column_fixed_at_best;
+        ] );
+      ( "lp_format",
+        [
+          Alcotest.test_case "structure" `Quick test_lp_format_structure;
+          Alcotest.test_case "free variables" `Quick test_lp_format_free_var;
+        ] );
+      ("properties", qcheck_cases);
+    ]

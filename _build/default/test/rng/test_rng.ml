@@ -1,0 +1,158 @@
+(* Tests for the deterministic PRNG and the statistics toolbox. *)
+
+let test_determinism () =
+  let a = Rng.create 1234 and b = Rng.create 1234 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b);
+  ignore (Rng.bits64 a);
+  ignore (Rng.bits64 a);
+  ignore (Rng.bits64 b);
+  (* advancing one does not affect the other *)
+  let a' = Rng.copy a in
+  Alcotest.(check int64) "streams stay in sync only via copy" (Rng.bits64 a)
+    (Rng.bits64 a')
+
+let test_split_diverges () =
+  let a = Rng.create 99 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 20 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check int) "substream diverges" 0 !same
+
+let test_int_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7)
+  done;
+  Alcotest.check_raises "zero bound rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_int_covers_all () =
+  let rng = Rng.create 11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all residues reached" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 3. in
+    Alcotest.(check bool) "in [0,3)" true (x >= 0. && x < 3.)
+  done
+
+let test_uniform_moments () =
+  let rng = Rng.create 17 in
+  let xs = Array.init 50_000 (fun _ -> Rng.uniform rng ~lo:2. ~hi:4.) in
+  let m = Sampling.Stats.mean xs in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (m -. 3.) < 0.02)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 23 in
+  let xs = Array.init 100_000 (fun _ -> Rng.gaussian rng ~mu:5. ~sigma:2.) in
+  let m = Sampling.Stats.mean xs in
+  let v = Sampling.Stats.variance xs in
+  Alcotest.(check bool) "mean near 5" true (Float.abs (m -. 5.) < 0.05);
+  Alcotest.(check bool) "variance near 4" true (Float.abs (v -. 4.) < 0.15)
+
+let test_exponential_mean () =
+  let rng = Rng.create 29 in
+  let xs = Array.init 50_000 (fun _ -> Rng.exponential rng ~rate:2.) in
+  let m = Sampling.Stats.mean xs in
+  Alcotest.(check bool) "mean near 1/2" true (Float.abs (m -. 0.5) < 0.02)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 31 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_choose () =
+  let rng = Rng.create 37 in
+  let x = Rng.choose rng [| 42 |] in
+  Alcotest.(check int) "singleton" 42 x;
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Rng.choose: empty array") (fun () ->
+      ignore (Rng.choose rng [||]))
+
+(* ---- Stats ---- *)
+
+let test_stats_mean_variance () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Sampling.Stats.mean [| 1.; 2.; 3. |]);
+  Alcotest.(check (float 1e-9)) "variance" 1.
+    (Sampling.Stats.variance [| 1.; 2.; 3. |]);
+  Alcotest.(check (float 1e-9)) "empty mean" 0. (Sampling.Stats.mean [||]);
+  Alcotest.(check (float 1e-9)) "singleton variance" 0.
+    (Sampling.Stats.variance [| 5. |])
+
+let test_normal_cdf () =
+  Alcotest.(check (float 1e-6)) "cdf(0)" 0.5 (Sampling.Stats.normal_cdf 0.);
+  Alcotest.(check (float 1e-4)) "cdf(1.96)" 0.975
+    (Sampling.Stats.normal_cdf 1.96);
+  Alcotest.(check (float 1e-4)) "cdf(-1.96)" 0.025
+    (Sampling.Stats.normal_cdf (-1.96))
+
+let test_normal_quantile_roundtrip () =
+  List.iter
+    (fun p ->
+      let z = Sampling.Stats.normal_quantile p in
+      Alcotest.(check (float 1e-4))
+        (Printf.sprintf "cdf(quantile(%g))" p)
+        p
+        (Sampling.Stats.normal_cdf z))
+    [ 0.001; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ]
+
+let test_percentile () =
+  let xs = [| 3.; 1.; 2.; 4. |] in
+  Alcotest.(check (float 1e-9)) "min" 1. (Sampling.Stats.percentile xs 0.);
+  Alcotest.(check (float 1e-9)) "max" 4. (Sampling.Stats.percentile xs 1.);
+  Alcotest.(check (float 1e-9)) "median" 2.5 (Sampling.Stats.percentile xs 0.5)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic under seed" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy semantics" `Quick test_copy_independent;
+          Alcotest.test_case "split diverges" `Quick test_split_diverges;
+          Alcotest.test_case "int range" `Quick test_int_range;
+          Alcotest.test_case "int covers residues" `Quick test_int_covers_all;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "uniform moments" `Quick test_uniform_moments;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "choose" `Quick test_choose;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean and variance" `Quick test_stats_mean_variance;
+          Alcotest.test_case "normal cdf" `Quick test_normal_cdf;
+          Alcotest.test_case "quantile roundtrip" `Quick test_normal_quantile_roundtrip;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+        ] );
+    ]

@@ -1,0 +1,1 @@
+test/sampling/test_answers.ml: Alcotest Array List QCheck QCheck_alcotest Rng Sampling

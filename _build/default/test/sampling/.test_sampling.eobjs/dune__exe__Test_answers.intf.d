@@ -1,0 +1,1 @@
+test/sampling/test_answers.mli:

@@ -1,0 +1,1 @@
+test/sampling/test_mvn.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Rng Sampling Sensor

@@ -1,0 +1,1 @@
+test/sampling/test_sampling.ml: Alcotest Array Float Fun Hashtbl Int List QCheck QCheck_alcotest Rng Sampling Sensor

@@ -1,0 +1,1 @@
+test/sampling/test_sampling.mli:

@@ -1,0 +1,122 @@
+(* Tests for the generalized answer models (Section 3's remark). *)
+
+let samples = [| [| 1.; 9.; 5.; 7.; 3. |]; [| 8.; 2.; 6.; 4.; 0. |] |]
+
+let test_top_k_matches_sample_set () =
+  let a = Sampling.Answers.top_k ~k:2 samples in
+  let s = Sampling.Sample_set.of_values ~k:2 samples in
+  Alcotest.(check (array int)) "same ones row 0" s.Sampling.Sample_set.ones.(0)
+    a.Sampling.Answers.ones.(0);
+  Alcotest.(check (array int)) "same colsum" s.Sampling.Sample_set.colsum
+    a.Sampling.Answers.colsum
+
+let test_selection_answers () =
+  let a = Sampling.Answers.selection ~threshold:5. samples in
+  Alcotest.(check (array int)) "sample 0: >5" [| 1; 3 |]
+    a.Sampling.Answers.ones.(0);
+  Alcotest.(check (array int)) "sample 1: >5" [| 0; 2 |]
+    a.Sampling.Answers.ones.(1);
+  Alcotest.(check int) "max answer" 2 a.Sampling.Answers.max_answer;
+  Alcotest.(check bool) "is_one consistent" true
+    a.Sampling.Answers.is_one.(0).(1)
+
+let test_selection_empty_answer () =
+  let a = Sampling.Answers.selection ~threshold:100. samples in
+  Alcotest.(check int) "no ones" 0 (Array.length a.Sampling.Answers.ones.(0));
+  Alcotest.(check int) "max answer 0" 0 a.Sampling.Answers.max_answer
+
+let test_quantile_answers () =
+  (* Sample 0 sorted ascending: 1(n0) 3(n4) 5(n2) 7(n3) 9(n1); the median
+     (phi=0.5) is node 2; window 1 adds nodes 4 and 3. *)
+  let a = Sampling.Answers.quantile ~phi:0.5 ~window:1 samples in
+  Alcotest.(check (list int)) "median window of sample 0" [ 2; 3; 4 ]
+    (List.sort compare (Array.to_list a.Sampling.Answers.ones.(0)))
+
+let test_quantile_window_zero () =
+  let a = Sampling.Answers.quantile ~phi:0.5 ~window:0 samples in
+  Alcotest.(check (array int)) "exact median node" [| 2 |]
+    a.Sampling.Answers.ones.(0)
+
+let test_quantile_bad_phi () =
+  Alcotest.check_raises "phi out of range"
+    (Invalid_argument "Answers.quantile: phi must be in (0, 1)") (fun () ->
+      ignore (Sampling.Answers.quantile ~phi:1. ~window:0 samples))
+
+let test_extremes_answers () =
+  let a = Sampling.Answers.extremes ~k:1 samples in
+  (* Sample 0: min at node 0, max at node 1. *)
+  Alcotest.(check (list int)) "both tails" [ 0; 1 ]
+    (List.sort compare (Array.to_list a.Sampling.Answers.ones.(0)))
+
+let test_extremes_overlap_dedup () =
+  (* With k at least half of n the tails overlap; entries must be unique. *)
+  let a = Sampling.Answers.extremes ~k:4 samples in
+  let row = Array.to_list a.Sampling.Answers.ones.(0) in
+  Alcotest.(check int) "no duplicates" (List.length row)
+    (List.length (List.sort_uniq compare row))
+
+let test_make_rejects_bad_answer () =
+  Alcotest.check_raises "out-of-range index"
+    (Invalid_argument "Answers.make: answer index out of range") (fun () ->
+      ignore
+        (Sampling.Answers.make ~name:"bad" ~answer:(fun _ -> [| 99 |]) samples))
+
+let quantile_window_bounds =
+  QCheck.Test.make ~name:"quantile windows have the right size" ~count:200
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 3 + Rng.int rng 30 in
+      let window = Rng.int rng 4 in
+      let phi = 0.1 +. Rng.float rng 0.8 in
+      let values =
+        Array.init 3 (fun _ ->
+            Array.init n (fun _ -> Rng.gaussian rng ~mu:0. ~sigma:5.))
+      in
+      let a = Sampling.Answers.quantile ~phi ~window values in
+      Array.for_all
+        (fun ones ->
+          let len = Array.length ones in
+          len >= 1 && len <= (2 * window) + 1)
+        a.Sampling.Answers.ones)
+
+let selection_colsum_counts =
+  QCheck.Test.make ~name:"selection colsums count threshold crossings"
+    ~count:200
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let n = 2 + Rng.int rng 20 in
+      let count = 1 + Rng.int rng 10 in
+      let values =
+        Array.init count (fun _ ->
+            Array.init n (fun _ -> Rng.gaussian rng ~mu:0. ~sigma:3.))
+      in
+      let a = Sampling.Answers.selection ~threshold:1. values in
+      let expected = Array.make n 0 in
+      Array.iter
+        (Array.iteri (fun i v -> if v > 1. then expected.(i) <- expected.(i) + 1))
+        values;
+      a.Sampling.Answers.colsum = expected)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ quantile_window_bounds; selection_colsum_counts ]
+
+let () =
+  Alcotest.run "answers"
+    [
+      ( "answers",
+        [
+          Alcotest.test_case "top-k matches Sample_set" `Quick test_top_k_matches_sample_set;
+          Alcotest.test_case "selection" `Quick test_selection_answers;
+          Alcotest.test_case "selection can be empty" `Quick test_selection_empty_answer;
+          Alcotest.test_case "quantile window" `Quick test_quantile_answers;
+          Alcotest.test_case "quantile exact" `Quick test_quantile_window_zero;
+          Alcotest.test_case "quantile bad phi" `Quick test_quantile_bad_phi;
+          Alcotest.test_case "extremes" `Quick test_extremes_answers;
+          Alcotest.test_case "extremes dedup" `Quick test_extremes_overlap_dedup;
+          Alcotest.test_case "bad answer rejected" `Quick test_make_rejects_bad_answer;
+        ] );
+      ("properties", qcheck_cases);
+    ]

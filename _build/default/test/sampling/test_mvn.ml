@@ -1,0 +1,141 @@
+(* Tests for the multivariate-normal model substrate. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let mat_mul_t l =
+  let n = Array.length l in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let acc = ref 0. in
+          for p = 0 to n - 1 do
+            acc := !acc +. (l.(i).(p) *. l.(j).(p))
+          done;
+          !acc))
+
+let test_cholesky_identity () =
+  let eye = Array.init 4 (fun i -> Array.init 4 (fun j -> if i = j then 1. else 0.)) in
+  let l = Sampling.Mvn.cholesky eye in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v -> check_float "identity factor" (if i = j then 1. else 0.) v)
+        row)
+    l
+
+let test_cholesky_roundtrip () =
+  let a = [| [| 4.; 2.; 0.6 |]; [| 2.; 3.; 1. |]; [| 0.6; 1.; 2. |] |] in
+  let l = Sampling.Mvn.cholesky a in
+  let back = mat_mul_t l in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "a[%d][%d]" i j)
+        a.(i).(j) back.(i).(j)
+    done
+  done;
+  (* Lower triangular. *)
+  check_float "upper zero" 0. l.(0).(2)
+
+let test_cholesky_rejects_asymmetric () =
+  Alcotest.check_raises "asymmetric"
+    (Invalid_argument "Mvn.cholesky: not symmetric") (fun () ->
+      ignore (Sampling.Mvn.cholesky [| [| 1.; 2. |]; [| 0.; 1. |] |]))
+
+let test_cholesky_rejects_indefinite () =
+  Alcotest.check_raises "indefinite"
+    (Invalid_argument "Mvn.cholesky: not positive definite") (fun () ->
+      ignore (Sampling.Mvn.cholesky [| [| 1.; 2. |]; [| 2.; 1. |] |]))
+
+let test_field_moments () =
+  let covariance = [| [| 2.; 1. |]; [| 1.; 2. |] |] in
+  let f = Sampling.Mvn.field ~means:[| 5.; -3. |] ~covariance in
+  let rng = Rng.create 1 in
+  let count = 40_000 in
+  let draws = Array.init count (fun _ -> f.Sampling.Field.draw rng) in
+  let est = Sampling.Mvn.empirical_covariance draws in
+  let m0 =
+    Array.fold_left (fun a r -> a +. r.(0)) 0. draws /. float_of_int count
+  in
+  Alcotest.(check bool) "mean recovered" true (Float.abs (m0 -. 5.) < 0.05);
+  Alcotest.(check bool) "variance recovered" true
+    (Float.abs (est.(0).(0) -. 2.) < 0.1);
+  Alcotest.(check bool) "correlation recovered" true
+    (Float.abs (est.(0).(1) -. 1.) < 0.1)
+
+let test_spatial_kernel_decay () =
+  let positions =
+    [|
+      { Sensor.Placement.x = 0.; y = 0. };
+      { Sensor.Placement.x = 5.; y = 0. };
+      { Sensor.Placement.x = 100.; y = 0. };
+    |]
+  in
+  let f =
+    Sampling.Mvn.spatial ~positions ~means:[| 0.; 0.; 0. |] ~sill:4.
+      ~range:20. ~nugget:0.01 ()
+  in
+  let rng = Rng.create 2 in
+  let draws = Array.init 30_000 (fun _ -> f.Sampling.Field.draw rng) in
+  let cov = Sampling.Mvn.empirical_covariance draws in
+  Alcotest.(check bool) "near pair strongly correlated" true
+    (cov.(0).(1) > 2.5);
+  Alcotest.(check bool) "far pair nearly independent" true
+    (Float.abs cov.(0).(2) < 0.3);
+  Alcotest.(check bool) "correlation decays with distance" true
+    (cov.(0).(1) > cov.(0).(2))
+
+let test_empirical_covariance_small () =
+  Alcotest.check_raises "one sample rejected"
+    (Invalid_argument "Mvn.empirical_covariance: need >= 2 samples")
+    (fun () -> ignore (Sampling.Mvn.empirical_covariance [| [| 1. |] |]))
+
+let cholesky_roundtrip_random =
+  QCheck.Test.make ~name:"cholesky round-trips random SPD matrices" ~count:200
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 10 in
+      (* SPD by construction: B B^T + eps I. *)
+      let b =
+        Array.init n (fun _ ->
+            Array.init n (fun _ -> Rng.uniform rng ~lo:(-1.) ~hi:1.))
+      in
+      let a =
+        Array.init n (fun i ->
+            Array.init n (fun j ->
+                let acc = ref (if i = j then 0.1 else 0.) in
+                for p = 0 to n - 1 do
+                  acc := !acc +. (b.(i).(p) *. b.(j).(p))
+                done;
+                !acc))
+      in
+      let l = Sampling.Mvn.cholesky a in
+      let back = mat_mul_t l in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Float.abs (a.(i).(j) -. back.(i).(j)) > 1e-8 then ok := false
+        done
+      done;
+      !ok)
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ cholesky_roundtrip_random ]
+
+let () =
+  Alcotest.run "mvn"
+    [
+      ( "cholesky",
+        [
+          Alcotest.test_case "identity" `Quick test_cholesky_identity;
+          Alcotest.test_case "round trip" `Quick test_cholesky_roundtrip;
+          Alcotest.test_case "asymmetric rejected" `Quick test_cholesky_rejects_asymmetric;
+          Alcotest.test_case "indefinite rejected" `Quick test_cholesky_rejects_indefinite;
+        ] );
+      ( "field",
+        [
+          Alcotest.test_case "moments" `Quick test_field_moments;
+          Alcotest.test_case "spatial kernel decay" `Quick test_spatial_kernel_decay;
+          Alcotest.test_case "small sample rejected" `Quick test_empirical_covariance_small;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,235 @@
+(* Tests for value fields, sample sets, the Intel-lab-like generator and
+   the sliding window. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---- Field ---- *)
+
+let test_independent_gaussian_moments () =
+  let f =
+    Sampling.Field.independent_gaussian ~means:[| 0.; 10. |] ~sigmas:[| 1.; 2. |]
+  in
+  let rng = Rng.create 1 in
+  let a = Array.init 30_000 (fun _ -> (f.Sampling.Field.draw rng).(1)) in
+  Alcotest.(check bool) "mean near 10" true
+    (Float.abs (Sampling.Stats.mean a -. 10.) < 0.05);
+  Alcotest.(check bool) "variance near 4" true
+    (Float.abs (Sampling.Stats.variance a -. 4.) < 0.2)
+
+let test_field_length_mismatch () =
+  Alcotest.check_raises "mismatch rejected"
+    (Invalid_argument "Field.independent_gaussian: length mismatch") (fun () ->
+      ignore (Sampling.Field.independent_gaussian ~means:[| 0. |] ~sigmas:[||]))
+
+let test_contention_exceed_prob () =
+  (* Empirically verify that zone nodes exceed the background mean with the
+     configured probability. *)
+  let zone = [| -1; 0; 0; 0; 0 |] in
+  let f =
+    Sampling.Field.contention_zones ~zone ~background_mean:20.
+      ~background_sigma:0.3 ~exceed_prob:0.4 ~mean_gap:2.
+  in
+  let rng = Rng.create 2 in
+  let exceed = ref 0 and total = ref 0 in
+  for _ = 1 to 20_000 do
+    let xs = f.Sampling.Field.draw rng in
+    for i = 1 to 4 do
+      incr total;
+      if xs.(i) > 20. then incr exceed
+    done
+  done;
+  let p = float_of_int !exceed /. float_of_int !total in
+  Alcotest.(check bool) "exceed prob near 0.4" true (Float.abs (p -. 0.4) < 0.01)
+
+let test_contention_rejects_bad_prob () =
+  Alcotest.check_raises "p >= 0.5 rejected"
+    (Invalid_argument "Field.contention_zones: exceed_prob must be in (0, 0.5)")
+    (fun () ->
+      ignore
+        (Sampling.Field.contention_zones ~zone:[| 0 |] ~background_mean:0.
+           ~background_sigma:1. ~exceed_prob:0.5 ~mean_gap:1.))
+
+let test_scaled_field () =
+  let f = Sampling.Field.independent_gaussian ~means:[| 0.; 100. |] ~sigmas:[| 1.; 1. |] in
+  let z = Sampling.Field.scaled f ~sigma_scale:0. in
+  let rng = Rng.create 3 in
+  let xs = z.Sampling.Field.draw rng in
+  (* With scale 0 every reading collapses to the epoch mean. *)
+  check_float "collapsed" xs.(0) xs.(1)
+
+(* ---- Sample_set ---- *)
+
+let test_top_k_nodes () =
+  let top = Sampling.Sample_set.top_k_nodes ~k:2 [| 1.; 5.; 3.; 5. |] in
+  Alcotest.(check (array int)) "ties to smaller id" [| 1; 3 |] top
+
+let test_top_k_larger_than_n () =
+  let top = Sampling.Sample_set.top_k_nodes ~k:10 [| 1.; 2. |] in
+  Alcotest.(check int) "clipped at n" 2 (Array.length top)
+
+let test_sample_set_matrix () =
+  let values = [| [| 1.; 9.; 5. |]; [| 7.; 2.; 6. |] |] in
+  let s = Sampling.Sample_set.of_values ~k:2 values in
+  Alcotest.(check (array int)) "ones of sample 0" [| 1; 2 |]
+    s.Sampling.Sample_set.ones.(0);
+  Alcotest.(check (array int)) "ones of sample 1" [| 0; 2 |]
+    s.Sampling.Sample_set.ones.(1);
+  Alcotest.(check (array int)) "column sums" [| 1; 1; 2 |]
+    s.Sampling.Sample_set.colsum;
+  Alcotest.(check bool) "is_one matches" true s.Sampling.Sample_set.is_one.(0).(1);
+  Alcotest.(check bool) "is_one matches 2" false
+    s.Sampling.Sample_set.is_one.(0).(0)
+
+let test_sample_set_rejects_ragged () =
+  Alcotest.check_raises "ragged rejected"
+    (Invalid_argument "Sample_set.of_values: ragged samples") (fun () ->
+      ignore (Sampling.Sample_set.of_values ~k:1 [| [| 1. |]; [| 1.; 2. |] |]))
+
+let test_sample_set_restrict () =
+  let values = [| [| 1.; 2. |]; [| 2.; 1. |]; [| 1.; 2. |] |] in
+  let s = Sampling.Sample_set.of_values ~k:1 values in
+  let r = Sampling.Sample_set.restrict s ~count:2 in
+  Alcotest.(check int) "restricted" 2 (Sampling.Sample_set.n_samples r);
+  Alcotest.(check (array int)) "recomputed colsum" [| 1; 1 |]
+    r.Sampling.Sample_set.colsum
+
+let colsum_invariant =
+  QCheck.Test.make ~name:"each sample contributes exactly k ones" ~count:200
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 30 in
+      let k = 1 + Rng.int rng n in
+      let count = 1 + Rng.int rng 20 in
+      let f =
+        Sampling.Field.random_gaussian rng ~n ~mean_lo:0. ~mean_hi:10.
+          ~sigma_lo:0.5 ~sigma_hi:3.
+      in
+      let s = Sampling.Sample_set.draw rng f ~k ~count in
+      let total = Array.fold_left ( + ) 0 s.Sampling.Sample_set.colsum in
+      total = count * Int.min k n
+      && Array.for_all
+           (fun ones -> Array.length ones = Int.min k n)
+           s.Sampling.Sample_set.ones)
+
+let accuracy_bounds =
+  QCheck.Test.make ~name:"sample accuracy lies in [0,1]" ~count:100
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 3 + Rng.int rng 20 in
+      let k = 1 + Rng.int rng 5 in
+      let f =
+        Sampling.Field.random_gaussian rng ~n ~mean_lo:0. ~mean_hi:5.
+          ~sigma_lo:0.1 ~sigma_hi:2.
+      in
+      let s = Sampling.Sample_set.draw rng f ~k ~count:3 in
+      let some_nodes = List.init (Int.min 4 n) Fun.id in
+      let a = Sampling.Sample_set.accuracy s ~k ~returned:some_nodes ~sample:0 in
+      a >= 0. && a <= 1.)
+
+(* ---- Intel_lab ---- *)
+
+let test_intel_lab_shape () =
+  let rng = Rng.create 4 in
+  let lab = Sampling.Intel_lab.generate rng ~epochs:200 () in
+  Alcotest.(check int) "54 motes" 54
+    (Sensor.Placement.n lab.Sampling.Intel_lab.layout);
+  Alcotest.(check int) "epoch count" 200
+    (Array.length lab.Sampling.Intel_lab.epochs);
+  Alcotest.(check bool) "some readings were interpolated" true
+    (lab.Sampling.Intel_lab.missing_filled > 0)
+
+let test_intel_lab_predictable_topk () =
+  (* The defining property: top-k locations are stable across epochs. *)
+  let rng = Rng.create 5 in
+  let lab = Sampling.Intel_lab.generate rng ~epochs:300 () in
+  let k = 10 in
+  let tops =
+    Array.map
+      (fun epoch -> Sampling.Sample_set.top_k_nodes ~k epoch)
+      lab.Sampling.Intel_lab.epochs
+  in
+  (* Union of all top-k sets across epochs should be small relative to n. *)
+  let union = Hashtbl.create 54 in
+  Array.iter (Array.iter (fun i -> Hashtbl.replace union i ())) tops;
+  Alcotest.(check bool) "top-k support is concentrated" true
+    (Hashtbl.length union <= (5 * k / 2))
+
+let test_intel_lab_training_split () =
+  let rng = Rng.create 6 in
+  let lab = Sampling.Intel_lab.generate rng ~epochs:50 () in
+  let train = Sampling.Intel_lab.training_epochs lab ~count:30 in
+  let test = Sampling.Intel_lab.test_epochs lab ~from_:30 in
+  Alcotest.(check int) "train size" 30 (Array.length train);
+  Alcotest.(check int) "test size" 20 (Array.length test)
+
+(* ---- Window ---- *)
+
+let test_window_expiry () =
+  let w = Sampling.Window.create ~capacity:3 in
+  List.iter
+    (fun v -> Sampling.Window.add w [| v; -.v |])
+    [ 1.; 2.; 3.; 4.; 5. ];
+  Alcotest.(check int) "capped at capacity" 3 (Sampling.Window.length w);
+  let s = Sampling.Window.to_sample_set w ~k:1 in
+  (* Oldest two (1., 2.) expired; newest three remain in order. *)
+  Alcotest.(check (float 1e-9)) "oldest kept sample" 3.
+    s.Sampling.Sample_set.values.(0).(0);
+  Alcotest.(check (float 1e-9)) "newest sample" 5.
+    s.Sampling.Sample_set.values.(2).(0)
+
+let test_window_empty () =
+  let w = Sampling.Window.create ~capacity:2 in
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Window.to_sample_set: empty window") (fun () ->
+      ignore (Sampling.Window.to_sample_set w ~k:1))
+
+let test_policy_adapts () =
+  let p = Sampling.Window.Policy.create () in
+  let base = Sampling.Window.Policy.rate p in
+  Sampling.Window.Policy.observe_accuracy p 0.2;
+  let raised = Sampling.Window.Policy.rate p in
+  Alcotest.(check bool) "rate rises on bad accuracy" true (raised > base);
+  for _ = 1 to 50 do
+    Sampling.Window.Policy.observe_accuracy p 1.0
+  done;
+  Alcotest.(check (float 1e-9)) "rate decays back to base" base
+    (Sampling.Window.Policy.rate p)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ colsum_invariant; accuracy_bounds ]
+
+let () =
+  Alcotest.run "sampling"
+    [
+      ( "field",
+        [
+          Alcotest.test_case "gaussian moments" `Quick test_independent_gaussian_moments;
+          Alcotest.test_case "length mismatch" `Quick test_field_length_mismatch;
+          Alcotest.test_case "contention exceed prob" `Quick test_contention_exceed_prob;
+          Alcotest.test_case "bad exceed prob" `Quick test_contention_rejects_bad_prob;
+          Alcotest.test_case "scaled field" `Quick test_scaled_field;
+        ] );
+      ( "sample_set",
+        [
+          Alcotest.test_case "top_k ties" `Quick test_top_k_nodes;
+          Alcotest.test_case "top_k clipped" `Quick test_top_k_larger_than_n;
+          Alcotest.test_case "boolean matrix" `Quick test_sample_set_matrix;
+          Alcotest.test_case "ragged rejected" `Quick test_sample_set_rejects_ragged;
+          Alcotest.test_case "restrict" `Quick test_sample_set_restrict;
+        ] );
+      ( "intel_lab",
+        [
+          Alcotest.test_case "shape" `Quick test_intel_lab_shape;
+          Alcotest.test_case "predictable top-k" `Quick test_intel_lab_predictable_topk;
+          Alcotest.test_case "train/test split" `Quick test_intel_lab_training_split;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "expiry" `Quick test_window_expiry;
+          Alcotest.test_case "empty" `Quick test_window_empty;
+          Alcotest.test_case "policy adapts" `Quick test_policy_adapts;
+        ] );
+      ("properties", qcheck_cases);
+    ]

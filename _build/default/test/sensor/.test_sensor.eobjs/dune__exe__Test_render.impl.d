@@ -1,0 +1,1 @@
+test/sensor/test_render.ml: Alcotest Array List QCheck QCheck_alcotest Rng Sensor String

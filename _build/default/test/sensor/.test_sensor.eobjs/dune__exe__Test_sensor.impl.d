@@ -1,0 +1,1 @@
+test/sensor/test_sensor.ml: Alcotest Array List Printf QCheck QCheck_alcotest Rng Sensor

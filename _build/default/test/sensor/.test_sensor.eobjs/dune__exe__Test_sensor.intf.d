@@ -1,0 +1,1 @@
+test/sensor/test_sensor.mli:

@@ -1,0 +1,35 @@
+(* Tests for the ASCII tree renderer. *)
+
+let test_render_chain () =
+  let topo = Sensor.Topology.of_parents ~root:0 [| -1; 0; 1 |] in
+  Alcotest.(check string) "chain" "0\n`-- 1\n    `-- 2\n"
+    (Sensor.Render.tree topo)
+
+let test_render_star_with_annotations () =
+  let topo = Sensor.Topology.of_parents ~root:0 [| -1; 0; 0 |] in
+  let annotate i = if i = 2 then "[x]" else "" in
+  Alcotest.(check string) "star" "0\n|-- 1\n`-- 2 [x]\n"
+    (Sensor.Render.tree ~annotate topo)
+
+let render_mentions_every_node =
+  QCheck.Test.make ~name:"every node appears exactly once" ~count:100
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 30 in
+      let parent = Array.init n (fun i -> if i = 0 then -1 else Rng.int rng i) in
+      let topo = Sensor.Topology.of_parents ~root:0 parent in
+      let text = Sensor.Render.tree topo in
+      let lines = String.split_on_char '\n' text in
+      List.length (List.filter (fun l -> l <> "") lines) = n)
+
+let () =
+  Alcotest.run "render"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "chain" `Quick test_render_chain;
+          Alcotest.test_case "annotations" `Quick test_render_star_with_annotations;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest render_mentions_every_node ]);
+    ]

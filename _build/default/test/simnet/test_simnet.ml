@@ -1,0 +1,190 @@
+(* Tests for the discrete-event engine: event ordering, message delivery,
+   energy conservation, failures and timers. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---- Event_queue ---- *)
+
+let test_queue_order () =
+  let q = Simnet.Event_queue.create () in
+  Simnet.Event_queue.add q ~time:3. "c";
+  Simnet.Event_queue.add q ~time:1. "a";
+  Simnet.Event_queue.add q ~time:2. "b";
+  let order = List.init 3 (fun _ -> snd (Option.get (Simnet.Event_queue.pop q))) in
+  Alcotest.(check (list string)) "sorted by time" [ "a"; "b"; "c" ] order;
+  Alcotest.(check bool) "drained" true (Simnet.Event_queue.is_empty q)
+
+let test_queue_fifo_ties () =
+  let q = Simnet.Event_queue.create () in
+  for i = 0 to 9 do
+    Simnet.Event_queue.add q ~time:1. i
+  done;
+  let order = List.init 10 (fun _ -> snd (Option.get (Simnet.Event_queue.pop q))) in
+  Alcotest.(check (list int)) "insertion order on ties" (List.init 10 Fun.id) order
+
+let test_queue_nan_rejected () =
+  let q = Simnet.Event_queue.create () in
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Event_queue.add: NaN time") (fun () ->
+      Simnet.Event_queue.add q ~time:Float.nan ())
+
+let test_queue_interleaved () =
+  let q = Simnet.Event_queue.create () in
+  let rng = Rng.create 1 in
+  let last = ref neg_infinity in
+  for _ = 1 to 200 do
+    Simnet.Event_queue.add q ~time:(Rng.float rng 100.) ()
+  done;
+  let ok = ref true in
+  let rec drain () =
+    match Simnet.Event_queue.pop q with
+    | None -> ()
+    | Some (t, ()) ->
+        if t < !last then ok := false;
+        last := t;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "monotone pops" true !ok
+
+(* ---- Engine ---- *)
+
+let chain n = Sensor.Topology.of_parents ~root:0 (Array.init n (fun i -> i - 1))
+
+let mica = Sensor.Mica2.default
+
+let test_engine_delivery () =
+  let topo = chain 3 in
+  let engine =
+    Simnet.Engine.create topo mica ~payload_bytes:(fun _ -> 4) ()
+  in
+  let log = ref [] in
+  (* Leaf 2 sends "hello" up to 1, which forwards to the root. *)
+  Simnet.Engine.on_message engine ~node:1 (fun api ~src msg ->
+      log := (1, src, msg) :: !log;
+      api.Simnet.Engine.send ~dst:0 msg);
+  Simnet.Engine.on_message engine ~node:0 (fun _ ~src msg ->
+      log := (0, src, msg) :: !log);
+  Simnet.Engine.on_message engine ~node:2 (fun api ~src:_ msg ->
+      api.Simnet.Engine.send ~dst:1 msg);
+  Simnet.Engine.inject engine ~node:2 "hello";
+  let end_time = Simnet.Engine.run engine in
+  Alcotest.(check (list (triple int int string)))
+    "relay order" [ (0, 1, "hello"); (1, 2, "hello") ] !log;
+  Alcotest.(check int) "two unicasts" 2 (Simnet.Engine.unicasts_sent engine);
+  Alcotest.(check bool) "time advanced" true (end_time > 0.)
+
+let test_engine_energy_conservation () =
+  let topo = chain 2 in
+  let engine =
+    Simnet.Engine.create topo mica ~payload_bytes:(fun _ -> 10) ()
+  in
+  Simnet.Engine.on_message engine ~node:1 (fun api ~src:_ () ->
+      api.Simnet.Engine.send ~dst:0 ());
+  Simnet.Engine.on_message engine ~node:0 (fun _ ~src:_ () -> ());
+  Simnet.Engine.inject engine ~node:1 ();
+  ignore (Simnet.Engine.run engine);
+  check_float "ledgers sum to the unicast cost"
+    (Sensor.Mica2.unicast_bytes_mj mica ~bytes:10)
+    (Simnet.Engine.total_energy engine)
+
+let test_engine_rejects_non_neighbor () =
+  let topo = chain 3 in
+  let engine = Simnet.Engine.create topo mica ~payload_bytes:(fun _ -> 0) () in
+  let failed = ref false in
+  Simnet.Engine.on_message engine ~node:2 (fun api ~src:_ () ->
+      try api.Simnet.Engine.send ~dst:0 () with Invalid_argument _ -> failed := true);
+  Simnet.Engine.inject engine ~node:2 ();
+  ignore (Simnet.Engine.run engine);
+  Alcotest.(check bool) "skip-level send rejected" true !failed
+
+let test_engine_broadcast_and_multicast () =
+  let topo = Sensor.Topology.of_parents ~root:0 [| -1; 0; 0; 0 |] in
+  let engine = Simnet.Engine.create topo mica ~payload_bytes:(fun _ -> 0) () in
+  let heard = ref [] in
+  for i = 1 to 3 do
+    Simnet.Engine.on_message engine ~node:i (fun api ~src:_ () ->
+        heard := api.Simnet.Engine.self :: !heard)
+  done;
+  Simnet.Engine.on_message engine ~node:0 (fun api ~src:_ () ->
+      api.Simnet.Engine.multicast ~dsts:[ 1; 3 ] ());
+  Simnet.Engine.inject engine ~node:0 ();
+  ignore (Simnet.Engine.run engine);
+  Alcotest.(check (list int)) "only multicast targets heard" [ 1; 3 ]
+    (List.sort compare !heard);
+  Alcotest.(check int) "one broadcast" 1 (Simnet.Engine.broadcasts_sent engine);
+  check_float "multicast cost"
+    (Sensor.Mica2.broadcast_mj mica ~receivers:2 ~bytes:0)
+    (Simnet.Engine.total_energy engine)
+
+let test_engine_timer () =
+  let topo = chain 1 in
+  let engine = Simnet.Engine.create topo mica ~payload_bytes:(fun _ -> 0) () in
+  let fired = ref [] in
+  Simnet.Engine.on_message engine ~node:0 (fun api ~src:_ () ->
+      api.Simnet.Engine.set_timer ~delay:5. (fun () -> fired := 5 :: !fired);
+      api.Simnet.Engine.set_timer ~delay:1. (fun () -> fired := 1 :: !fired));
+  Simnet.Engine.inject engine ~node:0 ();
+  let t = Simnet.Engine.run engine in
+  Alcotest.(check (list int)) "timers fire in order" [ 5; 1 ] !fired;
+  Alcotest.(check bool) "final time past last timer" true (t >= 5.)
+
+let test_engine_failures_inflate () =
+  let topo = chain 2 in
+  let failure =
+    {
+      Sensor.Failure.fail_prob = [| 0.; 1. |];  (* edge 1 always fails *)
+      reroute_factor = [| 1.; 2. |];
+    }
+  in
+  let rng = Rng.create 1 in
+  let engine =
+    Simnet.Engine.create topo mica ~failure:(failure, rng)
+      ~payload_bytes:(fun _ -> 10)
+      ()
+  in
+  Simnet.Engine.on_message engine ~node:1 (fun api ~src:_ () ->
+      api.Simnet.Engine.send ~dst:0 ());
+  Simnet.Engine.on_message engine ~node:0 (fun _ ~src:_ () -> ());
+  Simnet.Engine.inject engine ~node:1 ();
+  ignore (Simnet.Engine.run engine);
+  Alcotest.(check int) "reroute recorded" 1 (Simnet.Engine.reroutes engine);
+  check_float "cost doubled"
+    (2. *. Sensor.Mica2.unicast_bytes_mj mica ~bytes:10)
+    (Simnet.Engine.total_energy engine)
+
+let test_engine_livelock_guard () =
+  let topo = chain 2 in
+  let engine = Simnet.Engine.create topo mica ~payload_bytes:(fun _ -> 0) () in
+  (* Two nodes bounce a message forever. *)
+  Simnet.Engine.on_message engine ~node:0 (fun api ~src:_ () ->
+      api.Simnet.Engine.send ~dst:1 ());
+  Simnet.Engine.on_message engine ~node:1 (fun api ~src:_ () ->
+      api.Simnet.Engine.send ~dst:0 ());
+  Simnet.Engine.inject engine ~node:0 ();
+  (try
+     ignore (Simnet.Engine.run ~max_events:1000 engine);
+     Alcotest.fail "expected livelock failure"
+   with Failure _ -> ())
+
+let () =
+  Alcotest.run "simnet"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "time order" `Quick test_queue_order;
+          Alcotest.test_case "FIFO on ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "NaN rejected" `Quick test_queue_nan_rejected;
+          Alcotest.test_case "random interleaving" `Quick test_queue_interleaved;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "hop-by-hop delivery" `Quick test_engine_delivery;
+          Alcotest.test_case "energy conservation" `Quick test_engine_energy_conservation;
+          Alcotest.test_case "non-neighbor rejected" `Quick test_engine_rejects_non_neighbor;
+          Alcotest.test_case "broadcast and multicast" `Quick test_engine_broadcast_and_multicast;
+          Alcotest.test_case "timers" `Quick test_engine_timer;
+          Alcotest.test_case "failures inflate cost" `Quick test_engine_failures_inflate;
+          Alcotest.test_case "livelock guard" `Quick test_engine_livelock_guard;
+        ] );
+    ]
