@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick examples clean
+.PHONY: all build test bench bench-quick bench-json examples clean
 
 all: build
 
@@ -15,6 +15,11 @@ bench:
 
 bench-quick:
 	dune exec bench/main.exe -- --quick
+
+# Machine-readable solver benchmarks (solve times, iteration counts,
+# warm-start comparison); writes BENCH_PR1.json at the repo root.
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_PR1.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -14,6 +14,7 @@ open Toolkit
 let seed = ref 20060403 (* ICDE 2006 *)
 let quick = ref false
 let csv_dir = ref None
+let json_path = ref None
 
 let slug title =
   String.map
@@ -132,6 +133,125 @@ let run_lp_timing () =
         s.Lp.Revised.iterations s.Lp.Revised.refactorizations
   | None -> ()
 
+(* ---- machine-readable perf record (--json) ----
+
+   Wall-clock timings plus simplex iteration counts for the LP planner
+   suite, and a warm-vs-cold comparison on a perturbed planning LP.  The
+   output is committed as BENCH_PR<n>.json so later PRs have a perf
+   trajectory to regress against; keep the shape stable. *)
+
+let median l =
+  let a = List.sort compare l in
+  List.nth a (List.length a / 2)
+
+let time_solves ~reps f =
+  ignore (f ()) (* warmup *);
+  let times = ref [] and iters = ref 0 in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let stats = f () in
+    times := (1000. *. (Unix.gettimeofday () -. t0)) :: !times;
+    match (stats : Lp.Revised.stats option) with
+    | Some s -> iters := s.Lp.Revised.iterations
+    | None -> ()
+  done;
+  (median !times, !iters)
+
+let run_json_bench path =
+  Format.printf "@.######## JSON perf record -> %s ########@." path;
+  (* Open the output before measuring so a bad path fails fast. *)
+  let oc = open_out path in
+  let sizes = [ (50, 15, 10); (100, 30, 20) ] in
+  let solver_rows =
+    List.concat_map
+      (fun (n, m, k) ->
+        let topo, cost, samples, k = lp_instance ~n ~n_samples:m ~k in
+        let anchor =
+          Prospector.Plan.expected_collection_mj topo cost
+            (Prospector.Proof_exec.min_bandwidth_plan topo)
+        in
+        let budget = 1.2 *. anchor in
+        let reps = if n >= 100 then 5 else 9 in
+        let row name stats_of =
+          let ms, iters = time_solves ~reps stats_of in
+          Printf.sprintf
+            {|    {"name": "%s", "n": %d, "samples": %d, "k": %d, "ms_per_solve": %.3f, "iterations": %d}|}
+            name n m k ms iters
+        in
+        [
+          row "lp-lf" (fun () ->
+              (Prospector.Lp_no_lf.plan topo cost samples ~budget)
+                .Prospector.Lp_no_lf.lp_stats);
+          row "lp+lf" (fun () ->
+              (Prospector.Lp_lf.plan topo cost samples ~budget ~k)
+                .Prospector.Lp_lf.lp_stats);
+        ])
+      sizes
+  in
+  (* Warm-started replanning: solve a planning LP, perturb the energy
+     budget, and re-solve both cold and warm from the first solve's basis. *)
+  let n, m, k = (100, 30, 20) in
+  let topo, cost, samples, k = lp_instance ~n ~n_samples:m ~k in
+  let anchor =
+    Prospector.Plan.expected_collection_mj topo cost
+      (Prospector.Proof_exec.min_bandwidth_plan topo)
+  in
+  let budget = 1.2 *. anchor in
+  let first = Prospector.Lp_lf.plan topo cost samples ~budget ~k in
+  let perturbed = 1.05 *. budget in
+  let iters_of (r : Prospector.Lp_lf.result) =
+    match r.Prospector.Lp_lf.lp_stats with
+    | Some s -> s.Lp.Revised.iterations
+    | None -> 0
+  in
+  let t0 = Unix.gettimeofday () in
+  let cold = Prospector.Lp_lf.plan topo cost samples ~budget:perturbed ~k in
+  let cold_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+  let t0 = Unix.gettimeofday () in
+  let warm =
+    Prospector.Lp_lf.plan ?warm_start:first.Prospector.Lp_lf.basis topo cost
+      samples ~budget:perturbed ~k
+  in
+  let warm_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+  let obj_gap =
+    Float.abs
+      (cold.Prospector.Lp_lf.lp_objective -. warm.Prospector.Lp_lf.lp_objective)
+  in
+  Printf.fprintf oc
+    {|{
+  "seed": %d,
+  "lp_solve_times": [
+%s
+  ],
+  "pr1_seed_baseline": {
+    "comment": "pre-PR1 solver (full Dantzig pricing, cold starts) on the same instances/harness/machine, recorded when PR1 landed",
+    "lp_solve_times": [
+      {"name": "lp-lf", "n": 50, "samples": 15, "k": 10, "ms_per_solve": 0.759, "iterations": 58},
+      {"name": "lp+lf", "n": 50, "samples": 15, "k": 10, "ms_per_solve": 8.983, "iterations": 243},
+      {"name": "lp-lf", "n": 100, "samples": 30, "k": 20, "ms_per_solve": 2.004, "iterations": 132},
+      {"name": "lp+lf", "n": 100, "samples": 30, "k": 20, "ms_per_solve": 94.908, "iterations": 809}
+    ]
+  },
+  "warm_start_replan": {
+    "instance": {"n": %d, "samples": %d, "k": %d, "budget_perturbation": 1.05},
+    "cold_ms": %.3f,
+    "cold_iterations": %d,
+    "warm_ms": %.3f,
+    "warm_iterations": %d,
+    "warm_cold_iteration_ratio": %.4f,
+    "objective_abs_gap": %.6g
+  }
+}
+|}
+    !seed
+    (String.concat ",\n" solver_rows)
+    n m k cold_ms (iters_of cold) warm_ms (iters_of warm)
+    (float_of_int (iters_of warm) /. Float.max 1. (float_of_int (iters_of cold)))
+    obj_gap;
+  close_out oc;
+  Format.printf "cold: %.2f ms (%d iterations)  warm: %.2f ms (%d iterations)@."
+    cold_ms (iters_of cold) warm_ms (iters_of warm)
+
 let all_experiments =
   [
     ("table1", `Plain (fun () -> Experiments.Table1.run ()));
@@ -152,9 +272,13 @@ let all_experiments =
   ]
 
 let usage () =
-  print_endline "usage: main.exe [--quick] [--seed N] [--csv DIR] [experiment...]";
+  print_endline
+    "usage: main.exe [--quick] [--seed N] [--csv DIR] [--json PATH] [experiment...]";
   Printf.printf "experiments: %s\n"
     (String.concat " " (List.map fst all_experiments));
+  print_endline
+    "--json PATH writes machine-readable LP solve-time and warm-start\n\
+     results to PATH; with no experiment names it runs only that pass.";
   exit 1
 
 let () =
@@ -166,6 +290,9 @@ let () =
         parse rest
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
+        parse rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
         parse rest
     | "--seed" :: v :: rest ->
         (match int_of_string_opt v with
@@ -185,9 +312,10 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let to_run =
-    match List.rev !selected with
-    | [] -> List.map fst all_experiments
-    | names -> names
+    match (List.rev !selected, !json_path) with
+    | [], Some _ -> []  (* --json alone: just the perf record *)
+    | [], None -> List.map fst all_experiments
+    | names, _ -> names
   in
   let t0 = Unix.gettimeofday () in
   List.iter
@@ -196,5 +324,6 @@ let () =
       | `Plain f -> f ()
       | `Fig runner -> run_figures name runner)
     to_run;
+  Option.iter run_json_bench !json_path;
   Format.printf "@.All requested experiments completed in %.1fs.@."
     (Unix.gettimeofday () -. t0)

@@ -17,26 +17,30 @@ let plan topo cost samples ~budget =
   (* Incremental cost: count of chosen descendants per edge. *)
   let carried = Array.make n 0 in
   let current_cost = ref 0. in
+  let parent = topo.Sensor.Topology.parent in
+  let value_to_root = Sensor.Cost.value_to_root cost topo in
   let try_add node =
     (* Marginal cost of routing [node]'s value to the root: a new
        per-message cost on every edge not yet used, plus one more value on
-       every edge of the path. *)
-    let path =
-      List.filter (fun u -> u <> root) (Sensor.Topology.path_to_root topo node)
-    in
+       every edge of the path (the precomputed prefix sum). *)
     let marginal =
-      List.fold_left
-        (fun acc u ->
-          let new_message =
-            if carried.(u) = 0 then cost.Sensor.Cost.per_message.(u) else 0.
-          in
-          acc +. new_message +. cost.Sensor.Cost.per_value.(u))
-        0. path
+      let acc = ref value_to_root.(node) in
+      let u = ref node in
+      while !u <> root do
+        if carried.(!u) = 0 then
+          acc := !acc +. cost.Sensor.Cost.per_message.(!u);
+        u := parent.(!u)
+      done;
+      !acc
     in
     if !current_cost +. marginal <= budget +. 1e-9 then begin
       chosen.(node) <- true;
       current_cost := !current_cost +. marginal;
-      List.iter (fun u -> carried.(u) <- carried.(u) + 1) path;
+      let u = ref node in
+      while !u <> root do
+        carried.(!u) <- carried.(!u) + 1;
+        u := parent.(!u)
+      done;
       true
     end
     else false

@@ -4,9 +4,10 @@ type result = {
   lp_stats : Lp.Revised.stats option;
   fractional : float array;
   budget_shadow_price : float;
+  basis : Lp.Model.basis option;
 }
 
-let plan topo cost samples ~budget ~k =
+let plan ?warm_start topo cost samples ~budget ~k =
   if budget < 0. then invalid_arg "Lp_lf.plan: negative budget";
   if k < 1 then invalid_arg "Lp_lf.plan: k must be positive";
   let n = topo.Sensor.Topology.n in
@@ -79,7 +80,7 @@ let plan topo cost samples ~budget ~k =
         :: !budget_terms
   done;
   Lp.Model.add_le model !budget_terms budget;
-  let sol = Lp.Model.solve model in
+  let sol = Lp.Model.solve ?warm_start model in
   (match sol.Lp.Model.status with
   | Lp.Model.Optimal -> ()
   | _ -> failwith "Lp_lf.plan: LP did not reach optimality");
@@ -99,4 +100,5 @@ let plan topo cost samples ~budget ~k =
     lp_stats = sol.Lp.Model.stats;
     fractional;
     budget_shadow_price;
+    basis = sol.Lp.Model.basis;
   }

@@ -24,9 +24,14 @@ type result = {
       (** marginal covered-ones per mJ of extra budget at the optimum — the
           number a deployment engineer reads to decide whether raising the
           energy budget is still worth it *)
+  basis : Lp.Model.basis option;
+      (** warm-start token: feed it back as [?warm_start] to a later [plan]
+          call over the same topology and sample-set shape (e.g. a re-plan
+          with a perturbed budget) to reuse this solve's final basis *)
 }
 
 val plan :
+  ?warm_start:Lp.Model.basis ->
   Sensor.Topology.t ->
   Sensor.Cost.t ->
   Sampling.Sample_set.t ->
@@ -34,4 +39,5 @@ val plan :
   k:int ->
   result
 (** [k] caps the useful bandwidth of any edge (sending more than [k]
-    values cannot improve a top-k answer). *)
+    values cannot improve a top-k answer).  [warm_start] is best-effort:
+    incompatible tokens are ignored. *)

@@ -3,12 +3,13 @@ type result = {
   lp_objective : float;
   lp_stats : Lp.Revised.stats option;
   chosen : bool array;
+  basis : Lp.Model.basis option;
 }
 
-let plan topo cost samples ~budget =
+let plan ?warm_start topo cost samples ~budget =
   if budget < 0. then invalid_arg "Lp_no_lf.plan: negative budget";
   let r =
-    Ship_lp.plan_by_colsum topo cost
+    Ship_lp.plan_by_colsum ?warm_start topo cost
       ~colsum:samples.Sampling.Sample_set.colsum ~budget
   in
   {
@@ -16,4 +17,5 @@ let plan topo cost samples ~budget =
     lp_objective = r.Ship_lp.lp_objective;
     lp_stats = r.Ship_lp.lp_stats;
     chosen = r.Ship_lp.chosen;
+    basis = r.Ship_lp.basis;
   }

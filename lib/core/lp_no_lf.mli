@@ -21,11 +21,15 @@ type result = {
   lp_objective : float;  (** optimal covered-ones count of the relaxation *)
   lp_stats : Lp.Revised.stats option;
   chosen : bool array;  (** rounded node selection *)
+  basis : Lp.Model.basis option;
+      (** warm-start token for re-planning the same-shaped LP *)
 }
 
 val plan :
+  ?warm_start:Lp.Model.basis ->
   Sensor.Topology.t ->
   Sensor.Cost.t ->
   Sampling.Sample_set.t ->
   budget:float ->
   result
+(** [warm_start] is best-effort: incompatible tokens are ignored. *)

@@ -2,11 +2,12 @@ type result = {
   plan : Plan.t;
   lp_objective : float;
   lp_stats : Lp.Revised.stats option;
+  basis : Lp.Model.basis option;
 }
 
 exception Budget_too_small of float
 
-let plan topo cost samples ~budget ~k =
+let plan ?warm_start topo cost samples ~budget ~k =
   if k < 1 then invalid_arg "Lp_proof.plan: k must be positive";
   let n = topo.Sensor.Topology.n in
   let root = topo.Sensor.Topology.root in
@@ -179,7 +180,7 @@ let plan topo cost samples ~budget ~k =
      feasible despite floating-point accumulation in [fixed]. *)
   let rhs = Float.max (budget -. fixed) (!min_value_spend *. (1. +. 1e-9)) in
   Lp.Model.add_le model !budget_terms rhs;
-  let sol = Lp.Model.solve model in
+  let sol = Lp.Model.solve ?warm_start model in
   (match sol.Lp.Model.status with
   | Lp.Model.Optimal -> ()
   | _ -> failwith "Lp_proof.plan: LP did not reach optimality");
@@ -197,4 +198,5 @@ let plan topo cost samples ~budget ~k =
     lp_objective =
       (sol.Lp.Model.objective -. !bonus) /. float_of_int n_samples;
     lp_stats = sol.Lp.Model.stats;
+    basis = sol.Lp.Model.basis;
   }

@@ -23,6 +23,8 @@ type result = {
   plan : Plan.t;  (** rounded bandwidths, at least 1 everywhere *)
   lp_objective : float;  (** expected proven top-k count (relaxation) *)
   lp_stats : Lp.Revised.stats option;
+  basis : Lp.Model.basis option;
+      (** warm-start token for re-planning the same-shaped LP *)
 }
 
 exception Budget_too_small of float
@@ -30,9 +32,11 @@ exception Budget_too_small of float
     bandwidth-1-everywhere plan; carries that minimum cost. *)
 
 val plan :
+  ?warm_start:Lp.Model.basis ->
   Sensor.Topology.t ->
   Sensor.Cost.t ->
   Sampling.Sample_set.t ->
   budget:float ->
   k:int ->
   result
+(** [warm_start] is best-effort: incompatible tokens are ignored. *)

@@ -3,6 +3,7 @@ type t = {
   amortization_runs : int;
   mutable plan : Plan.t;
   mutable replans : int;
+  mutable warm : Lp.Model.basis option;
 }
 
 type decision = Kept | Disseminated of Plan.t
@@ -11,7 +12,7 @@ let create ?(min_gain = 0.05) ?(amortization_runs = 50) ~initial () =
   if min_gain < 0. then invalid_arg "Replan.create: negative min_gain";
   if amortization_runs < 1 then
     invalid_arg "Replan.create: amortization_runs must be positive";
-  { min_gain; amortization_runs; plan = initial; replans = 0 }
+  { min_gain; amortization_runs; plan = initial; replans = 0; warm = None }
 
 let current t = t.plan
 
@@ -33,7 +34,12 @@ let expected_accuracy topo cost plan ~k samples =
   total /. float_of_int (Array.length epochs)
 
 let consider t topo cost mica samples ~k ~budget =
-  let candidate = (Lp_lf.plan topo cost samples ~budget ~k).Lp_lf.plan in
+  (* Successive epochs re-solve nearly identical LPs: reuse the previous
+     epoch's final basis.  When the sample window changes the LP's shape the
+     token is silently ignored and the solve starts cold. *)
+  let r = Lp_lf.plan ?warm_start:t.warm topo cost samples ~budget ~k in
+  t.warm <- r.Lp_lf.basis;
+  let candidate = r.Lp_lf.plan in
   let incumbent_score = expected_accuracy topo cost t.plan ~k samples in
   let candidate_score = expected_accuracy topo cost candidate ~k samples in
   let gain = candidate_score -. incumbent_score in

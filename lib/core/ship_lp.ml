@@ -2,14 +2,17 @@ type result = {
   chosen : bool array;
   lp_objective : float;
   lp_stats : Lp.Revised.stats option;
+  basis : Lp.Model.basis option;
 }
 
-let plan_by_colsum topo cost ~colsum ~budget =
+let plan_by_colsum ?warm_start topo cost ~colsum ~budget =
   if budget < 0. then invalid_arg "Ship_lp.plan_by_colsum: negative budget";
   let n = topo.Sensor.Topology.n in
   if Array.length colsum <> n then
     invalid_arg "Ship_lp.plan_by_colsum: colsum length";
   let root = topo.Sensor.Topology.root in
+  let parent = topo.Sensor.Topology.parent in
+  let value_to_root = Sensor.Cost.value_to_root cost topo in
   let model = Lp.Model.create ~direction:Lp.Model.Maximize () in
   let x = Array.make n None and z = Array.make n None in
   for i = 0 to n - 1 do
@@ -27,7 +30,7 @@ let plan_by_colsum topo cost ~colsum ~budget =
   for i = 0 to n - 1 do
     if i <> root then begin
       Lp.Model.add_le model [ (1., getx i); (-1., getz i) ] 0.;
-      let p = topo.Sensor.Topology.parent.(i) in
+      let p = parent.(i) in
       if p <> root then
         Lp.Model.add_le model [ (1., getz i); (-1., getz p) ] 0.
     end
@@ -38,18 +41,11 @@ let plan_by_colsum topo cost ~colsum ~budget =
     if i <> root then begin
       budget_terms :=
         (cost.Sensor.Cost.per_message.(i), getz i) :: !budget_terms;
-      let path_value_cost =
-        List.fold_left
-          (fun acc u ->
-            if u = root then acc else acc +. cost.Sensor.Cost.per_value.(u))
-          0.
-          (Sensor.Topology.path_to_root topo i)
-      in
-      budget_terms := (path_value_cost, getx i) :: !budget_terms
+      budget_terms := (value_to_root.(i), getx i) :: !budget_terms
     end
   done;
   Lp.Model.add_le model !budget_terms budget;
-  let sol = Lp.Model.solve model in
+  let sol = Lp.Model.solve ?warm_start model in
   (match sol.Lp.Model.status with
   | Lp.Model.Optimal -> ()
   | _ -> failwith "Ship_lp.plan_by_colsum: LP did not reach optimality");
@@ -65,22 +61,24 @@ let plan_by_colsum topo cost ~colsum ~budget =
   let carried = Array.make n 0 in
   let current_cost = ref 0. in
   let marginal node =
-    let path =
-      List.filter (fun u -> u <> root) (Sensor.Topology.path_to_root topo node)
-    in
-    List.fold_left
-      (fun acc u ->
-        let new_message =
-          if carried.(u) = 0 then cost.Sensor.Cost.per_message.(u) else 0.
-        in
-        acc +. new_message +. cost.Sensor.Cost.per_value.(u))
-      0. path
+    (* Per-value cost of the whole path at once, plus a per-message cost on
+       every edge not yet carrying traffic. *)
+    let acc = ref value_to_root.(node) in
+    let u = ref node in
+    while !u <> root do
+      if carried.(!u) = 0 then
+        acc := !acc +. cost.Sensor.Cost.per_message.(!u);
+      u := parent.(!u)
+    done;
+    !acc
   in
   let commit node =
     current_cost := !current_cost +. marginal node;
-    List.iter
-      (fun u -> if u <> root then carried.(u) <- carried.(u) + 1)
-      (Sensor.Topology.path_to_root topo node)
+    let u = ref node in
+    while !u <> root do
+      carried.(!u) <- carried.(!u) + 1;
+      u := parent.(!u)
+    done
   in
   for i = 0 to n - 1 do
     if chosen.(i) && i <> root then commit i
@@ -106,4 +104,5 @@ let plan_by_colsum topo cost ~colsum ~budget =
     chosen;
     lp_objective = sol.Lp.Model.objective;
     lp_stats = sol.Lp.Model.stats;
+    basis = sol.Lp.Model.basis;
   }

@@ -7,15 +7,20 @@ type result = {
   chosen : bool array;
   lp_objective : float;
   lp_stats : Lp.Revised.stats option;
+  basis : Lp.Model.basis option;
+      (** warm-start token for re-planning the same-shaped LP *)
 }
 
 val plan_by_colsum :
+  ?warm_start:Lp.Model.basis ->
   Sensor.Topology.t ->
   Sensor.Cost.t ->
   colsum:int array ->
   budget:float ->
   result
 (** Solve the relaxation, round at 1/2, then spend leftover budget on the
-    most fractional remaining nodes.  @raise Invalid_argument on a negative
-    budget; @raise Failure if the LP solver fails (cannot happen for these
-    always-feasible programs unless iteration limits are hit). *)
+    most fractional remaining nodes.  [warm_start] is best-effort: tokens
+    from a differently shaped model are ignored.  @raise Invalid_argument
+    on a negative budget; @raise Failure if the LP solver fails (cannot
+    happen for these always-feasible programs unless iteration limits are
+    hit). *)

@@ -18,12 +18,24 @@ type step = {
   u_vals : float array;
 }
 
+(* The factorization is stored flattened into parallel arrays: the solves
+   walk every step once per call, and sequential unboxed reads of the pivot
+   metadata (with the per-step entry arrays dereferenced only for nonzero
+   positions) beat an array of step records by a wide margin. *)
 type t = {
   dim : int;
-  steps : step array;
-  (* For the transpose solve: [u_by_step.(k)] lists [(j, v)] with [j < k]
-     such that U has entry [v] at (row of step j, pivot column of step k). *)
-  u_by_step : (int * float) array array;
+  pivot_rows : int array;
+  pivot_cols : int array;
+  pivot_vals : float array;
+  l_rows : int array array;  (* per step *)
+  l_factors : float array array;
+  u_cols : int array array;  (* per step: the U row, pivot excluded *)
+  u_vals : float array array;
+  (* The U column pivoted at step k, as target ROW indices (pivot rows of
+     the earlier steps owning each entry) — the scatter form of the
+     backward/transpose solves. *)
+  ucol_rows : int array array;
+  ucol_vals : float array array;
 }
 
 exception Singular of int
@@ -216,72 +228,111 @@ let factor ~dim cols =
       (function Some s -> s | None -> assert false)
       steps
   in
-  (* Index the U entries by the step at which their column is pivoted. *)
+  (* Index the U entries by the step at which their column is pivoted,
+     recording the owning step's pivot row directly. *)
   let step_of_col = Array.make dim (-1) in
   Array.iteri (fun k s -> step_of_col.(s.pivot_col) <- k) steps;
-  let u_by_step = Array.make dim [] in
+  let ucol = Array.make dim [] in
   Array.iteri
-    (fun j s ->
+    (fun _ s ->
       Array.iteri
         (fun p c ->
           let k = step_of_col.(c) in
-          u_by_step.(k) <- (j, s.u_vals.(p)) :: u_by_step.(k))
+          ucol.(k) <- (s.pivot_row, s.u_vals.(p)) :: ucol.(k))
         s.u_cols)
     steps;
-  { dim; steps; u_by_step = Array.map Array.of_list u_by_step }
+  {
+    dim;
+    pivot_rows = Array.map (fun (s : step) -> s.pivot_row) steps;
+    pivot_cols = Array.map (fun (s : step) -> s.pivot_col) steps;
+    pivot_vals = Array.map (fun (s : step) -> s.pivot_val) steps;
+    l_rows = Array.map (fun (s : step) -> s.l_rows) steps;
+    l_factors = Array.map (fun (s : step) -> s.l_factors) steps;
+    u_cols = Array.map (fun (s : step) -> s.u_cols) steps;
+    u_vals = Array.map (fun (s : step) -> s.u_vals) steps;
+    ucol_rows =
+      Array.map (fun l -> Array.of_list (List.map fst l)) ucol;
+    ucol_vals =
+      Array.map (fun l -> Array.of_list (List.map snd l)) ucol;
+  }
 
 let dim t = t.dim
 
-let solve t b =
+let solve_mut t b =
   let n = t.dim in
-  let b = Array.copy b in
-  (* Forward: apply the recorded row operations to b. *)
+  (* Forward: apply the recorded row operations to b.  Zero entries are
+     skipped, so the cost tracks the sparsity of the right-hand side (an
+     FTRAN of an entering column touches only a few rows). *)
   for k = 0 to n - 1 do
-    let s = t.steps.(k) in
-    let br = b.(s.pivot_row) in
-    if br <> 0. then
-      for p = 0 to Array.length s.l_rows - 1 do
-        b.(s.l_rows.(p)) <- b.(s.l_rows.(p)) -. (s.l_factors.(p) *. br)
+    let br = b.(Array.unsafe_get t.pivot_rows k) in
+    if br <> 0. then begin
+      let rows = t.l_rows.(k) and factors = t.l_factors.(k) in
+      for p = 0 to Array.length rows - 1 do
+        let r = Array.unsafe_get rows p in
+        b.(r) <- b.(r) -. (Array.unsafe_get factors p *. br)
       done
+    end
   done;
-  (* Backward: solve U x = b in reverse pivot order. *)
+  (* Backward: solve U x = b in reverse pivot order, scatter form.  Once
+     x at this step's pivot column is known, its contribution is pushed
+     into the still-unsolved rows (all U-column entries belong to earlier
+     steps); a zero solution entry costs one comparison. *)
   let x = Array.make n 0. in
   for k = n - 1 downto 0 do
-    let s = t.steps.(k) in
-    let acc = ref b.(s.pivot_row) in
-    for p = 0 to Array.length s.u_cols - 1 do
-      acc := !acc -. (s.u_vals.(p) *. x.(s.u_cols.(p)))
-    done;
-    x.(s.pivot_col) <- !acc /. s.pivot_val
+    let xk =
+      b.(Array.unsafe_get t.pivot_rows k) /. Array.unsafe_get t.pivot_vals k
+    in
+    x.(Array.unsafe_get t.pivot_cols k) <- xk;
+    if xk <> 0. then begin
+      let rows = t.ucol_rows.(k) and vals = t.ucol_vals.(k) in
+      for p = 0 to Array.length rows - 1 do
+        let r = Array.unsafe_get rows p in
+        b.(r) <- b.(r) -. (Array.unsafe_get vals p *. xk)
+      done
+    end
   done;
   x
 
-let solve_transpose t c =
+let solve t b = solve_mut t (Array.copy b)
+
+let solve_transpose_mut t c =
   let n = t.dim in
   let z = Array.make n 0. in
-  (* Forward: solve U^T z = c in pivot order. *)
+  (* Forward: solve U^T z = c in pivot order, scatter form.  A step's
+     [u_cols] all pivot at later steps, so pushing z's contribution into
+     them keeps the remaining system consistent while zero entries are
+     skipped entirely. *)
   for k = 0 to n - 1 do
-    let s = t.steps.(k) in
-    let acc = ref c.(s.pivot_col) in
-    let deps = t.u_by_step.(k) in
-    for p = 0 to Array.length deps - 1 do
-      let j, v = deps.(p) in
-      acc := !acc -. (v *. z.(t.steps.(j).pivot_row))
-    done;
-    z.(s.pivot_row) <- !acc /. s.pivot_val
+    let zk =
+      c.(Array.unsafe_get t.pivot_cols k) /. Array.unsafe_get t.pivot_vals k
+    in
+    z.(Array.unsafe_get t.pivot_rows k) <- zk;
+    if zk <> 0. then begin
+      let cols = t.u_cols.(k) and vals = t.u_vals.(k) in
+      for p = 0 to Array.length cols - 1 do
+        let cc = Array.unsafe_get cols p in
+        c.(cc) <- c.(cc) -. (Array.unsafe_get vals p *. zk)
+      done
+    end
   done;
   (* Backward: apply the transposed row operations in reverse. *)
   for k = n - 1 downto 0 do
-    let s = t.steps.(k) in
+    let rows = t.l_rows.(k) and factors = t.l_factors.(k) in
     let acc = ref 0. in
-    for p = 0 to Array.length s.l_rows - 1 do
-      acc := !acc +. (s.l_factors.(p) *. z.(s.l_rows.(p)))
+    for p = 0 to Array.length rows - 1 do
+      acc :=
+        !acc +. (Array.unsafe_get factors p *. z.(Array.unsafe_get rows p))
     done;
-    z.(s.pivot_row) <- z.(s.pivot_row) -. !acc
+    let r = Array.unsafe_get t.pivot_rows k in
+    z.(r) <- z.(r) -. !acc
   done;
   z
 
+let solve_transpose t c = solve_transpose_mut t (Array.copy c)
+
 let fill_nnz t =
-  Array.fold_left
-    (fun acc s -> acc + 1 + Array.length s.l_rows + Array.length s.u_cols)
-    0 t.steps
+  let acc = ref 0 in
+  for k = 0 to t.dim - 1 do
+    acc := !acc + 1 + Array.length t.l_rows.(k) + Array.length t.u_cols.(k)
+  done;
+  !acc

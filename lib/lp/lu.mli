@@ -25,9 +25,17 @@ val solve : t -> float array -> float array
 (** [solve t b] returns [x] with [B x = b].  [b] is indexed by row, [x] by
     column slot.  [b] is not modified. *)
 
+val solve_mut : t -> float array -> float array
+(** As {!solve}, but clobbers [b] (used as the forward-substitution work
+    buffer) instead of copying it — for hot paths where the caller owns
+    the array. *)
+
 val solve_transpose : t -> float array -> float array
 (** [solve_transpose t c] returns [y] with [B^T y = c].  [c] is indexed by
     column slot, [y] by row.  [c] is not modified. *)
+
+val solve_transpose_mut : t -> float array -> float array
+(** As {!solve_transpose}, but clobbers [c]. *)
 
 val fill_nnz : t -> int
 (** Total number of non-zeros stored in the L and U factors (a measure of

@@ -21,12 +21,15 @@ type t = {
   mutable nrows : int;
 }
 
+type basis = { b_nvars : int; b_nrows : int; rb : Revised.basis }
+
 type solution = {
   status : status;
   objective : float;
   values : float array;
   stats : Revised.stats option;
   row_duals : float array option;
+  basis : basis option;
 }
 
 let create ?(direction = Minimize) () =
@@ -154,9 +157,9 @@ let objective_of t values =
   done;
   !acc
 
-let finish_revised t ?row_duals full_x status stats =
+let finish_revised t ?row_duals ?basis full_x status stats =
   let values = Array.sub full_x 0 t.nvars in
-  { status; objective = objective_of t values; values; stats; row_duals }
+  { status; objective = objective_of t values; values; stats; row_duals; basis }
 
 let map_status = function
   | Revised.Optimal -> Optimal
@@ -164,15 +167,28 @@ let map_status = function
   | Revised.Unbounded -> Unbounded
   | Revised.Iteration_limit -> Iteration_limit
 
-let solve_revised ?(presolve = false) ?max_iterations t =
+let solve_revised ?(presolve = false) ?max_iterations ?bland_after ?warm_start t
+    =
   let prob = to_problem t in
   if not presolve then begin
-    let res = Revised.solve ?max_iterations prob in
+    (* A warm basis is only meaningful for a model of identical shape: the
+       lowering maps variable [v] to column [v] and row [i]'s slack to
+       column [nvars + i], so (nvars, nrows) equality makes bases portable
+       across solves (and across freshly built models of the same shape). *)
+    let basis =
+      match warm_start with
+      | Some w when w.b_nvars = t.nvars && w.b_nrows = t.nrows -> Some w.rb
+      | _ -> None
+    in
+    let res = Revised.solve ?max_iterations ?bland_after ?basis prob in
     (* Internal duals are for the minimized objective; convert to the
        model's direction. *)
     let sign = match t.dir with Minimize -> 1. | Maximize -> -1. in
     let row_duals = Array.map (fun y -> sign *. y) res.Revised.duals in
-    finish_revised t ~row_duals res.Revised.x
+    let basis =
+      { b_nvars = t.nvars; b_nrows = t.nrows; rb = res.Revised.basis }
+    in
+    finish_revised t ~row_duals ~basis res.Revised.x
       (map_status res.Revised.status)
       (Some res.Revised.stats)
   end
@@ -280,11 +296,13 @@ let solve_dense t =
     values;
     stats = None;
     row_duals = None;
+    basis = None;
   }
 
-let solve ?(solver = `Revised) ?presolve ?max_iterations t =
+let solve ?(solver = `Revised) ?presolve ?max_iterations ?bland_after
+    ?warm_start t =
   match solver with
-  | `Revised -> solve_revised ?presolve ?max_iterations t
+  | `Revised -> solve_revised ?presolve ?max_iterations ?bland_after ?warm_start t
   | `Dense -> solve_dense t
 
 let pp_solution t ppf sol =

@@ -16,6 +16,13 @@ type direction = Minimize | Maximize
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
+type basis
+(** Opaque warm-start token: the simplex basis a solve ended with.  It can
+    be passed to a later {!solve} of a model with the same variable and
+    constraint counts (the same model re-solved, or a freshly built model of
+    identical shape) to start the simplex from that basis instead of from
+    scratch.  Incompatible tokens are silently ignored. *)
+
 type solution = {
   status : status;
   objective : float;  (** in the model's direction (not negated) *)
@@ -26,6 +33,9 @@ type solution = {
           marginal change of the objective (in the model's direction) per
           unit increase of that constraint's right-hand side.  Present when
           the revised solver ran without presolve. *)
+  basis : basis option;
+      (** warm-start token for a subsequent solve; present when the revised
+          solver ran without presolve *)
 }
 
 val create : ?direction:direction -> unit -> t
@@ -73,12 +83,17 @@ val solve :
   ?solver:[ `Revised | `Dense ] ->
   ?presolve:bool ->
   ?max_iterations:int ->
+  ?bland_after:int ->
+  ?warm_start:basis ->
   t ->
   solution
 (** Optimize the model.  The model itself is not modified and may be solved
     again (e.g. after adding constraints).  [presolve] (default [false],
     revised solver only) applies {!Presolve} reductions first and maps the
-    solution back. *)
+    solution back.  [warm_start] feeds a previous solution's basis token
+    back to the revised solver; it is ignored when the shapes differ, when
+    presolve is on, or with the dense solver.  [bland_after] tunes the
+    degeneracy threshold for the Bland's-rule fallback (tests only). *)
 
 val value : solution -> var -> float
 (** Value of a variable in a solution (0. unless [status = Optimal]). *)

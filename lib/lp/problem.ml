@@ -47,6 +47,22 @@ let validate t =
 
 let nnz t = Array.fold_left (fun acc c -> acc + Sparse_vec.nnz c) 0 t.cols
 
+let compatible_basis t vars =
+  Array.length vars = t.nrows
+  &&
+  let seen = Array.make t.ncols false in
+  Array.for_all
+    (fun j ->
+      j = -1
+      || (j >= 0 && j < t.ncols
+          &&
+          if seen.(j) then false
+          else begin
+            seen.(j) <- true;
+            true
+          end))
+    vars
+
 let activity t x =
   let act = Array.make t.nrows 0. in
   Array.iteri

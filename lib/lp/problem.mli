@@ -26,6 +26,13 @@ val validate : t -> unit
 val nnz : t -> int
 (** Total non-zeros in the constraint matrix. *)
 
+val compatible_basis : t -> int array -> bool
+(** [compatible_basis t vars] checks that a warm-start basis description is
+    structurally usable for this problem: one entry per row, each either
+    [-1] (meaning "use that row's artificial") or a distinct column index in
+    [0, ncols).  Nonsingularity is {e not} checked here; the solver falls
+    back to a cold start if factorization fails. *)
+
 val activity : t -> float array -> float array
 (** [activity t x] computes [A x] (length [nrows]). *)
 

@@ -4,8 +4,22 @@
     using the revised simplex method: the basis inverse is maintained as a
     sparse {!Lu} factorization refreshed periodically, with product-form eta
     updates in between.  Infeasible starting bases are handled by an
-    artificial-variable phase 1.  Dantzig pricing with an automatic switch
-    to Bland's rule under sustained degeneracy guarantees termination. *)
+    artificial-variable phase 1.
+
+    Pricing is partial (candidate-list) pricing with Devex-style reference
+    weights: between full scans only a small candidate list of nonbasic
+    columns has its reduced costs computed, kept current across pivots by a
+    per-pivot update along the pivot row; optimality is only declared after
+    a rotating scan has examined every column.  Sustained degeneracy
+    triggers an automatic switch to Bland's rule (full lowest-index scan),
+    which guarantees termination.
+
+    A previous solve's {!basis} can be fed back via [?basis] to warm-start
+    a related problem (same dimensions, perturbed rhs/bounds/objective):
+    the basis is refactorized, residual bound violations of the warm basic
+    variables are repaired by a bound-relaxation phase 1, and any failure
+    (singular basis, unrepairable violation) falls back to the cold path
+    transparently. *)
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
@@ -17,6 +31,17 @@ type stats = {
   bound_flips : int;
 }
 
+type basis = {
+  vars : int array;
+      (** [vars.(i)] is the column basic in row [i], or [-1] when that
+          row's internal artificial variable is basic (pinned at zero) *)
+  at_upper : bool array;
+      (** length [ncols]; for nonbasic columns, whether the column sits at
+          its upper bound (entries for basic columns are meaningless) *)
+}
+(** A snapshot of the final simplex basis, usable to warm-start a later
+    solve of a problem with the same dimensions. *)
+
 type result = {
   status : status;
   x : float array;
@@ -25,6 +50,7 @@ type result = {
   objective : float;  (** objective value of [x] *)
   duals : float array;
       (** row dual values [y] with [B^T y = c_B] at the final basis *)
+  basis : basis;  (** final basis, for warm-starting a related solve *)
   stats : stats;
 }
 
@@ -33,9 +59,16 @@ val solve :
   ?feas_tol:float ->
   ?opt_tol:float ->
   ?refactor_interval:int ->
+  ?bland_after:int ->
+  ?basis:basis ->
   Problem.t ->
   result
 (** Solve the problem.  Defaults: [max_iterations = 200_000],
-    [feas_tol = 1e-7], [opt_tol = 1e-7], [refactor_interval = 64]. *)
+    [feas_tol = 1e-7], [opt_tol = 1e-7], [refactor_interval = 128],
+    [bland_after = 2000] (consecutive degenerate pivots tolerated before
+    switching to Bland's rule; lower it only to exercise the fallback in
+    tests).  [basis] supplies a warm-start basis from a previous solve; it
+    is ignored (cold start) when structurally incompatible, and abandoned
+    transparently when singular or unrepairable. *)
 
 val pp_status : Format.formatter -> status -> unit

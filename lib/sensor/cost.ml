@@ -15,6 +15,17 @@ let with_failures t failure =
   in
   { per_message = inflate t.per_message; per_value = inflate t.per_value }
 
+let value_to_root t topo =
+  let n = topo.Topology.n in
+  let acc = Array.make n 0. in
+  (* bfs_order visits parents before children, so one pass suffices. *)
+  Array.iter
+    (fun i ->
+      if i <> topo.Topology.root then
+        acc.(i) <- acc.(topo.Topology.parent.(i)) +. t.per_value.(i))
+    topo.Topology.bfs_order;
+  acc
+
 let message_mj t ~node ~values =
   t.per_message.(node) +. (float_of_int values *. t.per_value.(node))
 

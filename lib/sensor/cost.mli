@@ -15,6 +15,13 @@ val of_mica2 : Topology.t -> Mica2.t -> t
 val with_failures : t -> Failure.t -> t
 (** Inflate each edge by its expected failure multiplier. *)
 
+val value_to_root : t -> Topology.t -> float array
+(** [value_to_root t topo] gives, per node, the per-value cost summed over
+    every edge on the node's path to the root (0 at the root): the cost of
+    carrying one extra value from the node all the way up.  Computed once in
+    O(n) by prefix sums down the tree; planners use it instead of walking
+    the path for every marginal-cost evaluation. *)
+
 val message_mj : t -> node:int -> values:int -> float
 (** Cost of one unicast carrying [values] readings on the node's uplink. *)
 
