@@ -263,6 +263,7 @@ let all_experiments =
     ("fig9", `Fig Experiments.Fig9.run);
     ("samples", `Fig Experiments.Sample_size.run);
     ("failures", `Fig Experiments.Ablation_failures.run);
+    ("loss", `Fig Experiments.Ablation_loss.run);
     ("drift", `Fig Experiments.Ablation_drift.run);
     ("rounding", `Fig Experiments.Ablation_rounding.run);
     ("generalized", `Fig Experiments.Generalized.run);

@@ -5,13 +5,26 @@ type result = {
   latency_s : float;
   unicasts : int;
   reroutes : int;
+  retransmissions : int;
+  dark : int list;
 }
 
 type msg = Trigger | Values of (int * float) list
 
 let take = Exec.take_prefix
 
-let collect topo mica ?failure plan ~k ~readings =
+(* Nodes cut off by a dead link are dark: the whole subtree under the
+   unreachable endpoint.  Collected in event order (deterministic per
+   seed), reported sorted and deduplicated. *)
+let darkness topo =
+  let acc = ref [] in
+  let mark node =
+    acc := List.rev_append (Sensor.Topology.descendants topo node) !acc
+  in
+  let get () = List.sort_uniq compare !acc in
+  (mark, get)
+
+let collect topo mica ?failure ?fault ?policy plan ~k ~readings =
   if Array.length readings <> topo.Sensor.Topology.n then
     invalid_arg "Simnet_exec.collect: readings length mismatch";
   let root = topo.Sensor.Topology.root in
@@ -19,7 +32,9 @@ let collect topo mica ?failure plan ~k ~readings =
     | Trigger -> 0
     | Values vs -> List.length vs * mica.Sensor.Mica2.bytes_per_value
   in
-  let engine = Simnet.Engine.create topo mica ?failure ~payload_bytes () in
+  let engine =
+    Simnet.Engine.create topo mica ?failure ?fault ?policy ~payload_bytes ()
+  in
   let n = topo.Sensor.Topology.n in
   let participating_children =
     Array.init n (fun u ->
@@ -29,6 +44,7 @@ let collect topo mica ?failure plan ~k ~readings =
   let pending = Array.init n (fun u -> List.length participating_children.(u)) in
   let inbox = Array.make n [] in
   let answer = ref [] in
+  let mark_dark, dark = darkness topo in
   let report api u =
     let pool =
       List.sort Exec.value_order ((u, readings.(u)) :: inbox.(u))
@@ -39,7 +55,7 @@ let collect topo mica ?failure plan ~k ~readings =
         (Values (take (Plan.bandwidth plan u) pool))
   in
   for u = 0 to n - 1 do
-    if u = root || Plan.bandwidth plan u > 0 then
+    if u = root || Plan.bandwidth plan u > 0 then begin
       Simnet.Engine.on_message engine ~node:u (fun api ~src msg ->
           match msg with
           | Trigger ->
@@ -50,7 +66,18 @@ let collect topo mica ?failure plan ~k ~readings =
               ignore src;
               inbox.(u) <- List.rev_append vs inbox.(u);
               pending.(u) <- pending.(u) - 1;
-              if pending.(u) = 0 then report api u)
+              if pending.(u) = 0 then report api u);
+      (* Degradation: an unreachable child's subtree goes dark and the
+         collection proceeds without it; an unreachable parent orphans this
+         node's whole branch. *)
+      Simnet.Engine.on_give_up engine ~node:u (fun api ~dst msg ->
+          mark_dark dst;
+          match msg with
+          | Trigger ->
+              pending.(u) <- pending.(u) - 1;
+              if pending.(u) = 0 then report api u
+          | Values _ -> ())
+    end
   done;
   Simnet.Engine.inject engine ~node:root Trigger;
   let latency = Simnet.Engine.run engine in
@@ -62,4 +89,6 @@ let collect topo mica ?failure plan ~k ~readings =
     latency_s = latency;
     unicasts = Simnet.Engine.unicasts_sent engine;
     reroutes = Simnet.Engine.reroutes engine;
+    retransmissions = Simnet.Engine.retransmissions_sent engine;
+    dark = dark ();
   }

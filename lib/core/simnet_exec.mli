@@ -7,21 +7,33 @@
     have reported.  Used to validate the analytic executor (the test suite
     asserts both return the same answer and the same collection energy) and
     to study latency and per-node energy, which the analytic path cannot
-    provide. *)
+    provide.
+
+    With a [?fault] model the run goes over the engine's ACK/retransmission
+    sublayer: recoverable frame loss changes nothing but energy and
+    latency, while a child that stays unreachable past the retry budget has
+    its whole subtree reported in [dark] and the collection completes
+    without it instead of hanging. *)
 
 type result = {
   returned : (int * float) list;
   total_mj : float;  (** trigger + collection energy, summed over nodes *)
   per_node_mj : float array;
   latency_s : float;  (** simulated time until the root has its answer *)
-  unicasts : int;
+  unicasts : int;  (** retransmissions included *)
   reroutes : int;
+  retransmissions : int;  (** frames re-sent by the reliability sublayer *)
+  dark : int list;
+      (** nodes cut off by dead links (sorted, deduplicated); empty when
+          every loss was recovered *)
 }
 
 val collect :
   Sensor.Topology.t ->
   Sensor.Mica2.t ->
   ?failure:Sensor.Failure.t * Rng.t ->
+  ?fault:Simnet.Fault.t * Rng.t ->
+  ?policy:Simnet.Reliable.policy ->
   Plan.t ->
   k:int ->
   readings:float array ->

@@ -4,9 +4,22 @@ type result = {
   per_node_mj : float array;
   latency_s : float;
   unicasts : int;
+  retransmissions : int;
+  dark : int list;
 }
 
 let take = Exec.take_prefix
+
+(* Nodes cut off by a dead link are dark: the whole subtree under the
+   unreachable endpoint.  Collected in event order (deterministic per
+   seed), reported sorted and deduplicated. *)
+let darkness topo =
+  let acc = ref [] in
+  let mark node =
+    acc := List.rev_append (Sensor.Topology.descendants topo node) !acc
+  in
+  let get () = List.sort_uniq compare !acc in
+  (mark, get)
 
 (* ---------------- NAIVE-1: the pull pipeline ---------------- *)
 
@@ -24,7 +37,7 @@ type puller = {
   mutable serving : bool;  (* a parent request awaits our response *)
 }
 
-let naive_one topo mica ?failure ~k ~readings () =
+let naive_one topo mica ?failure ?fault ?policy ~k ~readings () =
   if k < 1 then invalid_arg "Simnet_protocols.naive_one: k must be positive";
   let n = topo.Sensor.Topology.n in
   let root = topo.Sensor.Topology.root in
@@ -32,7 +45,10 @@ let naive_one topo mica ?failure ~k ~readings () =
     | Req | Resp None -> 0
     | Resp (Some _) -> mica.Sensor.Mica2.bytes_per_value
   in
-  let engine = Simnet.Engine.create topo mica ?failure ~payload_bytes () in
+  let engine =
+    Simnet.Engine.create topo mica ?failure ?fault ?policy ~payload_bytes ()
+  in
+  let mark_dark, dark = darkness topo in
   let states =
     Array.init n (fun _ ->
         {
@@ -105,7 +121,19 @@ let naive_one topo mica ?failure ~k ~readings () =
             (match r with
             | Some entry -> heap_insert st src entry
             | None -> st.exhausted <- src :: st.exhausted);
-            progress api u)
+            progress api u);
+    (* Degradation: an unreachable child behaves like an exhausted one (it
+       can contribute nothing more); an unreachable parent orphans this
+       node's whole branch. *)
+    Simnet.Engine.on_give_up engine ~node:u (fun api ~dst msg ->
+        mark_dark dst;
+        match msg with
+        | Req ->
+            let st = states.(u) in
+            st.pending <- st.pending - 1;
+            st.exhausted <- dst :: st.exhausted;
+            progress api u
+        | Resp _ -> ())
   done;
   states.(root).serving <- true;
   Simnet.Engine.inject engine ~node:root Req;
@@ -117,6 +145,8 @@ let naive_one topo mica ?failure ~k ~readings () =
     per_node_mj = Array.init n (fun i -> Simnet.Engine.energy_of engine i);
     latency_s = latency;
     unicasts = Simnet.Engine.unicasts_sent engine;
+    retransmissions = Simnet.Engine.retransmissions_sent engine;
+    dark = dark ();
   }
 
 (* ---------------- proof-carrying collection ---------------- *)
@@ -131,7 +161,7 @@ type proof_msg =
       sent_all : bool;
     }
 
-let proof_collect topo mica ?failure plan ~k ~readings () =
+let proof_collect topo mica ?failure ?fault ?policy plan ~k ~readings () =
   if k < 1 then invalid_arg "Simnet_protocols.proof_collect: k must be positive";
   let n = topo.Sensor.Topology.n in
   let root = topo.Sensor.Topology.root in
@@ -146,7 +176,10 @@ let proof_collect topo mica ?failure plan ~k ~readings () =
     | PValues { values; _ } ->
         List.length values * mica.Sensor.Mica2.bytes_per_value
   in
-  let engine = Simnet.Engine.create topo mica ?failure ~payload_bytes () in
+  let engine =
+    Simnet.Engine.create topo mica ?failure ?fault ?policy ~payload_bytes ()
+  in
+  let mark_dark, dark = darkness topo in
   (* Per node: messages received so far, tagged by the child they came
      from, plus that child's proven prefix and sent_all flag. *)
   let inbox = Array.make n [] in
@@ -209,7 +242,18 @@ let proof_collect topo mica ?failure plan ~k ~readings () =
         | PValues { values; proven; sent_all } ->
             inbox.(u) <- (src, values, proven, sent_all) :: inbox.(u);
             pending.(u) <- pending.(u) - 1;
-            if pending.(u) = 0 then report api u)
+            if pending.(u) = 0 then report api u);
+    (* Degradation: an unreachable child counts as having sent an empty,
+       unproven report — [sent_all = false] keeps provenness conservative
+       (nothing can be certified against a dark subtree). *)
+    Simnet.Engine.on_give_up engine ~node:u (fun api ~dst msg ->
+        mark_dark dst;
+        match msg with
+        | Trigger ->
+            inbox.(u) <- (dst, [], 0, false) :: inbox.(u);
+            pending.(u) <- pending.(u) - 1;
+            if pending.(u) = 0 then report api u
+        | PValues _ -> ())
   done;
   Simnet.Engine.inject engine ~node:root Trigger;
   let latency = Simnet.Engine.run engine in
@@ -221,6 +265,8 @@ let proof_collect topo mica ?failure plan ~k ~readings () =
         per_node_mj = Array.init n (fun i -> Simnet.Engine.energy_of engine i);
         latency_s = latency;
         unicasts = Simnet.Engine.unicasts_sent engine;
+        retransmissions = Simnet.Engine.retransmissions_sent engine;
+        dark = dark ();
       };
     proven_count = !root_proven;
   }
@@ -233,6 +279,8 @@ type exact_result = {
   total_mj : float;
   latency_s : float;
   unicasts : int;
+  retransmissions : int;
+  dark : int list;
 }
 
 type bound = (int * float) option
@@ -279,7 +327,7 @@ let dedup_by_origin values =
       end)
     values
 
-let exact topo mica ?failure plan ~k ~readings () =
+let exact topo mica ?failure ?fault ?policy plan ~k ~readings () =
   if k < 1 then invalid_arg "Simnet_protocols.exact: k must be positive";
   let n = topo.Sensor.Topology.n in
   let root = topo.Sensor.Topology.root in
@@ -294,7 +342,10 @@ let exact topo mica ?failure plan ~k ~readings () =
     | MopReq _ -> (2 * bpv) + 2
     | MopResp values -> List.length values * bpv
   in
-  let engine = Simnet.Engine.create topo mica ?failure ~payload_bytes () in
+  let engine =
+    Simnet.Engine.create topo mica ?failure ?fault ?policy ~payload_bytes ()
+  in
+  let mark_dark, dark = darkness topo in
   let states =
     Array.init n (fun u ->
         {
@@ -462,7 +513,20 @@ let exact topo mica ?failure plan ~k ~readings () =
             st.pending <- st.pending - 1;
             if st.pending = 0 then phase1_report api u
         | MopReq { c; lo; hi } -> handle_mop_req api u ~c ~lo ~hi
-        | MopResp values -> handle_mop_resp api u values)
+        | MopResp values -> handle_mop_resp api u values);
+    (* Degradation: phase-1 treats an unreachable child as an empty,
+       unproven report; a phase-2 range request to a dead subtree comes
+       back empty (the subtree was already marked dark in phase 1). *)
+    Simnet.Engine.on_give_up engine ~node:u (fun api ~dst msg ->
+        let st = states.(u) in
+        match msg with
+        | XTrigger ->
+            mark_dark dst;
+            st.inbox <- (dst, [], 0, false) :: st.inbox;
+            st.pending <- st.pending - 1;
+            if st.pending = 0 then phase1_report api u
+        | MopReq _ -> handle_mop_resp api u []
+        | XValues _ | MopResp _ -> mark_dark dst)
   done;
   Simnet.Engine.inject engine ~node:root XTrigger;
   let latency = Simnet.Engine.run engine in
@@ -472,4 +536,6 @@ let exact topo mica ?failure plan ~k ~readings () =
     total_mj = Simnet.Engine.total_energy engine;
     latency_s = latency;
     unicasts = Simnet.Engine.unicasts_sent engine;
+    retransmissions = Simnet.Engine.retransmissions_sent engine;
+    dark = dark ();
   }

@@ -7,20 +7,33 @@
     The test suite checks they return exactly what the analytic executors
     ({!Naive.naive_one}, {!Proof_exec.run}) compute, at exactly the same
     radio energy — the strongest evidence that the analytic cost accounting
-    used by the planners matches a message-level execution. *)
+    used by the planners matches a message-level execution.
+
+    All three protocols also run over the engine's fault-injection regime
+    ([?fault] with an optional retransmission [?policy]): recoverable frame
+    loss leaves the answers bit-identical (the ACK/retransmit sublayer
+    recovers every frame) at a higher measured energy, while links declared
+    dead degrade the protocols gracefully — the affected subtree is
+    reported in [dark] and execution still terminates. *)
 
 type result = {
   returned : (int * float) list;
   total_mj : float;
   per_node_mj : float array;
   latency_s : float;
-  unicasts : int;
+  unicasts : int;  (** retransmissions included *)
+  retransmissions : int;  (** frames re-sent by the reliability sublayer *)
+  dark : int list;
+      (** nodes cut off by dead links (sorted, deduplicated); empty when
+          every loss was recovered *)
 }
 
 val naive_one :
   Sensor.Topology.t ->
   Sensor.Mica2.t ->
   ?failure:Sensor.Failure.t * Rng.t ->
+  ?fault:Simnet.Fault.t * Rng.t ->
+  ?policy:Simnet.Reliable.policy ->
   k:int ->
   readings:float array ->
   unit ->
@@ -38,6 +51,8 @@ val proof_collect :
   Sensor.Topology.t ->
   Sensor.Mica2.t ->
   ?failure:Sensor.Failure.t * Rng.t ->
+  ?fault:Simnet.Fault.t * Rng.t ->
+  ?policy:Simnet.Reliable.policy ->
   Plan.t ->
   k:int ->
   readings:float array ->
@@ -53,13 +68,19 @@ type exact_result = {
   proven_after_phase1 : int;
   total_mj : float;  (** both phases, triggers and requests included *)
   latency_s : float;
-  unicasts : int;
+  unicasts : int;  (** retransmissions included *)
+  retransmissions : int;
+  dark : int list;
+      (** with dead links the "exact" answer is only exact over the
+          reachable nodes; [dark] lists the ones it could not see *)
 }
 
 val exact :
   Sensor.Topology.t ->
   Sensor.Mica2.t ->
   ?failure:Sensor.Failure.t * Rng.t ->
+  ?fault:Simnet.Fault.t * Rng.t ->
+  ?policy:Simnet.Reliable.policy ->
   Plan.t ->
   k:int ->
   readings:float array ->

@@ -1,0 +1,82 @@
+let rates = [ 0.; 0.05; 0.1; 0.2; 0.3 ]
+
+(* Average collection energy, retransmission count and accuracy over the
+   test epochs at one frame-drop rate, all from one deterministic seed. *)
+let measure (s : Setup.t) plan ~drop seed =
+  let n = s.Setup.topo.Sensor.Topology.n in
+  let fault = Simnet.Fault.bernoulli ~n ~drop in
+  let rng = Rng.create (seed * 6151) in
+  let energy, retrans, acc =
+    Array.fold_left
+      (fun (es, rt, accs) readings ->
+        let r =
+          Prospector.Simnet_exec.collect s.Setup.topo s.Setup.mica
+            ~fault:(fault, rng) plan ~k:s.Setup.k ~readings
+        in
+        assert (r.Prospector.Simnet_exec.dark = []);
+        ( es +. r.Prospector.Simnet_exec.total_mj,
+          rt + r.Prospector.Simnet_exec.retransmissions,
+          accs
+          +. Prospector.Exec.accuracy ~k:s.Setup.k ~readings
+               r.Prospector.Simnet_exec.returned ))
+      (0., 0, 0.) s.Setup.test_epochs
+  in
+  let epochs = float_of_int (Array.length s.Setup.test_epochs) in
+  (energy /. epochs, float_of_int retrans /. epochs, 100. *. acc /. epochs)
+
+let run ?(quick = false) ~seed () =
+  let n = if quick then 30 else 60 in
+  let k = if quick then 6 else 10 in
+  let s =
+    Setup.uniform_gaussian ~seed ~n ~k
+      ~n_samples:(if quick then 5 else 10)
+      ~n_test:(if quick then 6 else 15)
+      ()
+  in
+  (* Full-bandwidth NAIVE-k plan: its lossless energy is the analytic
+     baseline, so the measured inflation is purely the ARQ layer's doing. *)
+  let plan =
+    Prospector.Plan.make s.Setup.topo
+      (Array.mapi
+         (fun i size ->
+           if i = s.Setup.topo.Sensor.Topology.root then 0 else Int.min size k)
+         s.Setup.topo.Sensor.Topology.subtree_size)
+  in
+  let share =
+    let m = s.Setup.mica in
+    m.Sensor.Mica2.send_mw /. (m.Sensor.Mica2.send_mw +. m.Sensor.Mica2.recv_mw)
+  in
+  let base_mj, _, _ = measure s plan ~drop:0. seed in
+  let rows =
+    List.map
+      (fun drop ->
+        let mj, retrans, acc = measure s plan ~drop seed in
+        let arq =
+          Simnet.Reliable.expected_cost_multiplier ~drop ~sender_share:share
+        in
+        (* The planner's Section-4.4 inflation with a 2x re-route premium:
+           one recovery retransmission costs one extra message. *)
+        let sec44 = 1. +. drop in
+        [ drop; mj /. base_mj; arq; sec44; retrans; acc ])
+      rates
+  in
+  [
+    Series.make
+      ~title:
+        "Ablation: measured ARQ energy under frame loss vs the analytic \
+         predictions"
+      ~columns:
+        [
+          "drop"; "measured_x"; "arq_model_x"; "sec4.4_x"; "retrans/run";
+          "accuracy_%";
+        ]
+      ~notes:
+        [
+          "measured_x: collection energy at this drop rate over the lossless run";
+          "arq_model_x: per-message Reliable.expected_cost_multiplier (unicast)";
+          "sec4.4_x: the planner's 1 + p(f-1) inflation with a 2x premium";
+          "broadcast triggers retransmit as unicasts, so measured_x tops the";
+          "unicast-only arq_model_x at high loss; every answer stays exact";
+        ]
+      rows;
+  ]

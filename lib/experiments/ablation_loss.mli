@@ -1,0 +1,9 @@
+(** Ablation: energy actually burned by the ACK/retransmission layer under
+    injected frame loss, against two analytic predictions — the reliability
+    sublayer's own per-message cost model
+    ({!Simnet.Reliable.expected_cost_multiplier}) and the paper's
+    Section-4.4 planning-side inflation [1 + p(f-1)].  Answers must stay
+    exact at every measured rate (the retry budget makes loss recoverable);
+    only the energy and latency move. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Series.t list

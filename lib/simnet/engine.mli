@@ -5,9 +5,28 @@
     engine charges every transmission to per-node energy ledgers using the
     {!Sensor.Mica2} model — the same constants the planners use — so
     analytic plan costs can be validated against simulated executions.
-    Transient link failures (if a {!Sensor.Failure} model is supplied) make
-    the reliable protocol re-route, inflating cost and latency but never
-    dropping a message.
+
+    Two failure regimes are available, matching the two sides of the
+    paper's Section 4.4:
+
+    - the {e planning-side} model ([?failure], a {!Sensor.Failure}):
+      transient failures make the reliable protocol re-route, inflating
+      cost and latency but never dropping a message;
+    - the {e execution-side} model ([?fault], a {!Fault}): frames are
+      actually lost (Bernoulli drops, loss bursts, node outages).  The
+      engine then runs every [send]/[broadcast_children]/[multicast] over
+      a reliability sublayer — per-frame ACKs, timeout-based
+      retransmission with capped exponential backoff ([?policy]),
+      duplicate suppression and per-link FIFO restoration via sequence
+      numbers (see {!Reliable}) — transparently to the message handlers.
+      A message whose retry budget is exhausted is abandoned: its link is
+      declared dead and the sender's give-up handler ({!on_give_up}) is
+      told, so protocols can degrade gracefully instead of hanging.  In a
+      lossless run the sublayer charges exactly the legacy energy (ACKs
+      ride in the Mica2 per-message cost [cm]); every retransmission pays
+      the full unicast cost again.  When [?fault] is supplied, [?failure]
+      re-routing is not applied — the two models answer different
+      questions and are never active together.
 
     The engine is polymorphic in the message type; the [payload_bytes]
     function supplied at creation determines the wire size of each
@@ -34,23 +53,36 @@ val create :
   Sensor.Topology.t ->
   Sensor.Mica2.t ->
   ?failure:Sensor.Failure.t * Rng.t ->
+  ?fault:Fault.t * Rng.t ->
+  ?policy:Reliable.policy ->
   payload_bytes:('msg -> int) ->
   unit ->
   'msg t
+(** @raise Invalid_argument if the fault model's size differs from the
+    topology's. *)
 
 val on_message : 'msg t -> node:int -> ('msg api -> src:int -> 'msg -> unit) -> unit
 (** Install the message handler of a node (replacing any previous one).
     Messages to a node without a handler are counted but dropped. *)
 
+val on_give_up : 'msg t -> node:int -> ('msg api -> dst:int -> 'msg -> unit) -> unit
+(** Install the give-up handler of a node: called (as an ordinary event,
+    never re-entrantly) each time the reliability sublayer abandons a
+    message this node sent, with the unreachable destination and the
+    original message.  Only ever invoked when a [?fault] model is
+    active. *)
+
 val inject : 'msg t -> node:int -> ?at:float -> 'msg -> unit
 (** Deliver a message to [node] from outside the network (e.g. the query
     station kicking off execution at the root); no radio energy is
-    charged. *)
+    charged and no loss is applied (the station link is wired). *)
 
 val run : ?max_events:int -> 'msg t -> float
 (** Process events until the queue drains; returns the final simulation
-    time.  @raise Failure if [max_events] (default 10_000_000) is
-    exceeded, which indicates a protocol that never quiesces. *)
+    time.  Stale retransmission timers (frames acknowledged before their
+    timeout) are discarded without advancing the clock.  @raise Failure
+    if [max_events] (default 10_000_000) is exceeded, which indicates a
+    protocol that never quiesces. *)
 
 val energy_of : 'msg t -> int -> float
 (** Total energy charged to one node so far, mJ. *)
@@ -58,9 +90,27 @@ val energy_of : 'msg t -> int -> float
 val total_energy : 'msg t -> float
 
 val unicasts_sent : 'msg t -> int
+(** Unicast transmissions, retransmissions included. *)
 
 val broadcasts_sent : 'msg t -> int
 
 val reroutes : 'msg t -> int
 (** Number of transmissions that hit a transient failure and paid the
-    re-routing premium. *)
+    re-routing premium (planning-side [?failure] model only). *)
+
+val retransmissions_sent : 'msg t -> int
+(** Data frames re-sent by the reliability sublayer. *)
+
+val dropped_frames : 'msg t -> int
+(** Frames (data and ACK) lost to the fault model, outages included. *)
+
+val duplicate_frames : 'msg t -> int
+(** Data frames that arrived more than once (their first ACK was lost)
+    and were suppressed by the sequence-number filter. *)
+
+val gave_up : 'msg t -> int
+(** Messages abandoned after exhausting their retry budget. *)
+
+val dead_links : 'msg t -> (int * int) list
+(** Directed links declared dead by the reliability sublayer, in
+    declaration order. *)

@@ -39,6 +39,18 @@ let add t ~time payload =
     i := parent
   done
 
+(* Halve the backing array when occupancy falls below a quarter: a burst
+   of events (e.g. retransmission timers during a loss episode) would
+   otherwise leave a large array whose dead slots pin every popped event's
+   payload for the rest of the simulation. *)
+let shrink t top =
+  let cap = Array.length t.heap in
+  if cap >= 64 && 4 * (t.size + 1) <= cap then begin
+    let smaller = Array.make (cap / 2) top in
+    Array.blit t.heap 0 smaller 0 (t.size + 1);
+    t.heap <- smaller
+  end
+
 let pop t =
   if t.size = 0 then None
   else begin
@@ -61,6 +73,7 @@ let pop t =
         i := !smallest
       end
     done;
+    shrink t top;
     Some (top.time, top.payload)
   end
 

@@ -2,7 +2,12 @@
 
     Events with equal timestamps are delivered in insertion order (a
     monotone sequence number breaks ties), which keeps simulations
-    deterministic. *)
+    deterministic.  The FIFO guarantee holds across arbitrary
+    interleavings of [add] and [pop] — in particular for retransmission
+    timers re-armed mid-drain at timestamps that collide with queued
+    deliveries (pinned by regression tests).  The backing array shrinks as
+    the queue drains, so a burst of events does not pin its payloads for
+    the rest of a long simulation. *)
 
 type 'a t
 

@@ -1,0 +1,313 @@
+(* Randomized differential testing of the fault-injection + ACK/retransmit
+   layer: under recoverable frame loss every message-level executor must
+   still return exactly what the analytic executors compute — the
+   reliability sublayer hides the loss completely — while the measured
+   energy can only go up.  Crashed subtrees degrade to a partial answer
+   over the reachable nodes, tagged dark, and the run still terminates. *)
+
+let mica = Sensor.Mica2.default
+
+let random_tree rng n =
+  let parent = Array.init n (fun i -> if i = 0 then -1 else Rng.int rng i) in
+  Sensor.Topology.of_parents ~root:0 parent
+
+let random_readings rng n =
+  Array.init n (fun _ -> Rng.gaussian rng ~mu:20. ~sigma:5.)
+
+let ids answer = List.map fst answer
+
+let full_plan topo ~k =
+  Prospector.Plan.make topo
+    (Array.mapi
+       (fun i size -> if i = topo.Sensor.Topology.root then 0 else Int.min size k)
+       topo.Sensor.Topology.subtree_size)
+
+let drop_rates = [ 0.; 0.05; 0.2 ]
+
+let n_seeds = 50
+
+(* One scenario per seed: a random topology and reading set, exercised at
+   each drop rate by all four message-level executors. *)
+let recoverable_loss_is_invisible =
+  QCheck.Test.make
+    ~name:
+      "recoverable loss: exact analytic answers, no dark nodes, energy only \
+       goes up" ~count:n_seeds
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create (seed + 81) in
+      let n = 2 + Rng.int rng 20 in
+      let k = 1 + Rng.int rng 5 in
+      let topo = random_tree rng n in
+      let cost = Sensor.Cost.of_mica2 topo mica in
+      let readings = random_readings rng n in
+      let plan = full_plan topo ~k in
+      let pplan = Prospector.Proof_exec.min_bandwidth_plan topo in
+      let naive = Prospector.Naive.naive_one topo cost ~k ~readings in
+      let naive_k = Prospector.Naive.naive_k topo cost ~k ~readings in
+      let proof = Prospector.Proof_exec.run topo cost pplan ~k ~readings in
+      let truth = ids (Prospector.Exec.true_top_k ~k readings) in
+      let baseline = ref None in
+      List.for_all
+        (fun drop ->
+          let fault () =
+            (Simnet.Fault.bernoulli ~n ~drop, Rng.create (seed + 7))
+          in
+          let collect =
+            Prospector.Simnet_exec.collect topo mica ~fault:(fault ()) plan ~k
+              ~readings
+          in
+          let pull =
+            Prospector.Simnet_protocols.naive_one topo mica ~fault:(fault ())
+              ~k ~readings ()
+          in
+          let pc =
+            Prospector.Simnet_protocols.proof_collect topo mica
+              ~fault:(fault ()) pplan ~k ~readings ()
+          in
+          let ex =
+            Prospector.Simnet_protocols.exact topo mica ~fault:(fault ()) pplan
+              ~k ~readings ()
+          in
+          let energies =
+            [
+              collect.Prospector.Simnet_exec.total_mj;
+              pull.Prospector.Simnet_protocols.total_mj;
+              pc.Prospector.Simnet_protocols.base
+                .Prospector.Simnet_protocols.total_mj;
+              ex.Prospector.Simnet_protocols.total_mj;
+            ]
+          in
+          let not_cheaper =
+            (* The first rate in [drop_rates] is 0: the lossless reliable
+               run is the baseline every lossy run must dominate. *)
+            match !baseline with
+            | None ->
+                baseline := Some energies;
+                true
+            | Some base ->
+                List.for_all2 (fun e b -> e >= b -. 1e-9) energies base
+          in
+          ids collect.Prospector.Simnet_exec.returned
+          = ids naive_k.Prospector.Naive.returned
+          && ids pull.Prospector.Simnet_protocols.returned
+             = ids naive.Prospector.Naive.returned
+          && ids
+               pc.Prospector.Simnet_protocols.base
+                 .Prospector.Simnet_protocols.returned
+             = ids proof.Prospector.Proof_exec.result
+          && pc.Prospector.Simnet_protocols.proven_count
+             = proof.Prospector.Proof_exec.proven_count
+          && ids ex.Prospector.Simnet_protocols.answer = truth
+          && collect.Prospector.Simnet_exec.dark = []
+          && pull.Prospector.Simnet_protocols.dark = []
+          && pc.Prospector.Simnet_protocols.base.Prospector.Simnet_protocols
+               .dark
+             = []
+          && ex.Prospector.Simnet_protocols.dark = []
+          && not_cheaper
+          && ((drop > 0.)
+             || collect.Prospector.Simnet_exec.retransmissions = 0))
+        drop_rates)
+
+(* A lossless run over the reliability sublayer must cost exactly what the
+   legacy direct-delivery path charges: ACKs ride in the per-message
+   allowance, so rate 0 is not merely close, it is equal. *)
+let lossless_reliable_equals_legacy =
+  QCheck.Test.make
+    ~name:"rate-0 fault injection charges exactly the legacy energy"
+    ~count:n_seeds
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create (seed + 82) in
+      let n = 2 + Rng.int rng 20 in
+      let k = 1 + Rng.int rng 5 in
+      let topo = random_tree rng n in
+      let readings = random_readings rng n in
+      let plan = full_plan topo ~k in
+      let legacy = Prospector.Simnet_exec.collect topo mica plan ~k ~readings in
+      let reliable =
+        Prospector.Simnet_exec.collect topo mica
+          ~fault:(Simnet.Fault.none ~n, Rng.create seed)
+          plan ~k ~readings
+      in
+      ids legacy.Prospector.Simnet_exec.returned
+      = ids reliable.Prospector.Simnet_exec.returned
+      && Float.abs
+           (legacy.Prospector.Simnet_exec.total_mj
+           -. reliable.Prospector.Simnet_exec.total_mj)
+         < 1e-9
+      && legacy.Prospector.Simnet_exec.unicasts
+         = reliable.Prospector.Simnet_exec.unicasts)
+
+(* Same seed, same simulation — bit for bit, including the energy ledgers
+   and the loss bookkeeping. *)
+let same_seed_is_bit_identical =
+  QCheck.Test.make ~name:"same-seed lossy runs are bit-identical" ~count:n_seeds
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create (seed + 83) in
+      let n = 2 + Rng.int rng 20 in
+      let k = 1 + Rng.int rng 5 in
+      let topo = random_tree rng n in
+      let readings = random_readings rng n in
+      let plan = full_plan topo ~k in
+      let run () =
+        Prospector.Simnet_exec.collect topo mica
+          ~fault:
+            ( Simnet.Fault.with_burst
+                (Simnet.Fault.bernoulli ~n ~drop:0.2)
+                ~mean_length:0.02,
+              Rng.create (seed + 9) )
+          plan ~k ~readings
+      in
+      let a = run () and b = run () in
+      a.Prospector.Simnet_exec.returned = b.Prospector.Simnet_exec.returned
+      && a.Prospector.Simnet_exec.total_mj = b.Prospector.Simnet_exec.total_mj
+      && a.Prospector.Simnet_exec.per_node_mj
+         = b.Prospector.Simnet_exec.per_node_mj
+      && a.Prospector.Simnet_exec.latency_s = b.Prospector.Simnet_exec.latency_s
+      && a.Prospector.Simnet_exec.unicasts = b.Prospector.Simnet_exec.unicasts
+      && a.Prospector.Simnet_exec.retransmissions
+         = b.Prospector.Simnet_exec.retransmissions
+      && a.Prospector.Simnet_exec.dark = b.Prospector.Simnet_exec.dark)
+
+(* Burst loss windows are recoverable too: retries outlast the outage. *)
+let burst_loss_recovers =
+  QCheck.Test.make ~name:"burst loss recovers to the exact answer"
+    ~count:n_seeds
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create (seed + 84) in
+      let n = 2 + Rng.int rng 15 in
+      let k = 1 + Rng.int rng 5 in
+      let topo = random_tree rng n in
+      let readings = random_readings rng n in
+      let pplan = Prospector.Proof_exec.min_bandwidth_plan topo in
+      let fault =
+        ( Simnet.Fault.with_burst
+            (Simnet.Fault.bernoulli ~n ~drop:0.1)
+            ~mean_length:0.05,
+          Rng.create (seed + 11) )
+      in
+      let ex =
+        Prospector.Simnet_protocols.exact topo mica ~fault pplan ~k ~readings ()
+      in
+      ids ex.Prospector.Simnet_protocols.answer
+      = ids (Prospector.Exec.true_top_k ~k readings)
+      && ex.Prospector.Simnet_protocols.dark = [])
+
+(* ---- crash degradation ---- *)
+
+let alive_top_k topo readings ~k ~dead =
+  let dark = Sensor.Topology.descendants topo dead in
+  let alive =
+    Prospector.Exec.true_top_k ~k:(Array.length readings)
+      (Array.mapi (fun i v -> if List.mem i dark then neg_infinity else v)
+         readings)
+    |> List.filter (fun (i, _) -> not (List.mem i dark))
+  in
+  Prospector.Exec.take_prefix k alive
+
+let crashed_subtree_goes_dark =
+  QCheck.Test.make
+    ~name:"permanent crash: subtree reported dark, answer covers the rest"
+    ~count:n_seeds
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create (seed + 85) in
+      let n = 3 + Rng.int rng 15 in
+      let k = 1 + Rng.int rng 4 in
+      let topo = random_tree rng n in
+      let readings = random_readings rng n in
+      let dead = 1 + Rng.int rng (n - 1) in
+      let fault =
+        Simnet.Fault.with_crashes (Simnet.Fault.none ~n)
+          [ (dead, 0., infinity) ]
+      in
+      let plan = full_plan topo ~k in
+      let r =
+        Prospector.Simnet_exec.collect topo mica
+          ~fault:(fault, Rng.create (seed + 13))
+          plan ~k ~readings
+      in
+      let expected_dark =
+        List.sort_uniq compare (Sensor.Topology.descendants topo dead)
+      in
+      r.Prospector.Simnet_exec.dark = expected_dark
+      && ids r.Prospector.Simnet_exec.returned
+         = ids (alive_top_k topo readings ~k ~dead))
+
+let exact_protocol_survives_crash =
+  QCheck.Test.make
+    ~name:"exact protocol under a permanent crash: top k of reachable nodes"
+    ~count:n_seeds
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create (seed + 86) in
+      let n = 3 + Rng.int rng 15 in
+      let k = 1 + Rng.int rng 4 in
+      let topo = random_tree rng n in
+      let readings = random_readings rng n in
+      let dead = 1 + Rng.int rng (n - 1) in
+      let fault =
+        Simnet.Fault.with_crashes (Simnet.Fault.none ~n)
+          [ (dead, 0., infinity) ]
+      in
+      let pplan = Prospector.Proof_exec.min_bandwidth_plan topo in
+      let r =
+        Prospector.Simnet_protocols.exact topo mica
+          ~fault:(fault, Rng.create (seed + 15))
+          pplan ~k ~readings ()
+      in
+      r.Prospector.Simnet_protocols.dark
+      = List.sort_uniq compare (Sensor.Topology.descendants topo dead)
+      && ids r.Prospector.Simnet_protocols.answer
+         = ids (alive_top_k topo readings ~k ~dead))
+
+let transient_crash_recovers =
+  QCheck.Test.make
+    ~name:"transient crash: retries outlast the outage, nothing goes dark"
+    ~count:n_seeds
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create (seed + 87) in
+      let n = 3 + Rng.int rng 15 in
+      let k = 1 + Rng.int rng 4 in
+      let topo = random_tree rng n in
+      let cost = Sensor.Cost.of_mica2 topo mica in
+      let readings = random_readings rng n in
+      let down = 1 + Rng.int rng (n - 1) in
+      (* A half-second outage sits well inside the ~12 s worst-case retry
+         schedule, so the collection must come back complete. *)
+      let fault =
+        Simnet.Fault.with_crashes (Simnet.Fault.none ~n)
+          [ (down, 0., 0.5) ]
+      in
+      let plan = full_plan topo ~k in
+      let clean = Prospector.Simnet_exec.collect topo mica plan ~k ~readings in
+      let r =
+        Prospector.Simnet_exec.collect topo mica
+          ~fault:(fault, Rng.create (seed + 17))
+          plan ~k ~readings
+      in
+      ignore cost;
+      r.Prospector.Simnet_exec.dark = []
+      && ids r.Prospector.Simnet_exec.returned
+         = ids clean.Prospector.Simnet_exec.returned
+      && r.Prospector.Simnet_exec.total_mj
+         >= clean.Prospector.Simnet_exec.total_mj -. 1e-9)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      recoverable_loss_is_invisible;
+      lossless_reliable_equals_legacy;
+      same_seed_is_bit_identical;
+      burst_loss_recovers;
+      crashed_subtree_goes_dark;
+      exact_protocol_survives_crash;
+      transient_crash_recovers;
+    ]
+
+let () = Alcotest.run "lossy" [ ("properties", qcheck_cases) ]

@@ -28,6 +28,53 @@ let test_queue_nan_rejected () =
     (Invalid_argument "Event_queue.add: NaN time") (fun () ->
       Simnet.Event_queue.add q ~time:Float.nan ())
 
+let test_queue_fifo_across_pops () =
+  (* FIFO on equal timestamps must survive arbitrary add/pop interleavings
+     — the pattern retransmission timers produce when they re-arm mid-drain
+     at a timestamp that collides with queued deliveries. *)
+  let q = Simnet.Event_queue.create () in
+  Simnet.Event_queue.add q ~time:1. 0;
+  Simnet.Event_queue.add q ~time:1. 1;
+  let popped = ref [] in
+  let pop () = popped := snd (Option.get (Simnet.Event_queue.pop q)) :: !popped in
+  pop ();
+  Simnet.Event_queue.add q ~time:1. 2;
+  pop ();
+  Simnet.Event_queue.add q ~time:1. 3;
+  Simnet.Event_queue.add q ~time:0.5 99;
+  pop ();
+  (* the earlier event jumps the tie group... *)
+  pop ();
+  pop ();
+  Alcotest.(check (list int)) "ties stay FIFO across interleaved adds"
+    [ 0; 1; 99; 2; 3 ] (List.rev !popped)
+
+let test_queue_burst_drain () =
+  (* A large burst followed by a full drain: ordering holds and the
+     backing array shrinks back down (exercised for memory hygiene; the
+     capacity itself is not observable). *)
+  let q = Simnet.Event_queue.create () in
+  for i = 0 to 9_999 do
+    Simnet.Event_queue.add q ~time:(float_of_int (i mod 7)) i
+  done;
+  let last_time = ref neg_infinity and last_seq = ref (-1) and ok = ref true in
+  let rec drain count =
+    match Simnet.Event_queue.pop q with
+    | None -> count
+    | Some (t, i) ->
+        if t < !last_time then ok := false;
+        if t > !last_time then last_seq := -1;
+        (* within a tie group, insertion order = increasing payload here *)
+        if i <= !last_seq then ok := false;
+        last_time := t;
+        last_seq := i;
+        drain (count + 1)
+  in
+  let drained = drain 0 in
+  Alcotest.(check int) "all events drained" 10_000 drained;
+  Alcotest.(check bool) "order respected throughout" true !ok;
+  Alcotest.(check int) "empty after drain" 0 (Simnet.Event_queue.length q)
+
 let test_queue_interleaved () =
   let q = Simnet.Event_queue.create () in
   let rng = Rng.create 1 in
@@ -135,6 +182,7 @@ let test_engine_failures_inflate () =
     {
       Sensor.Failure.fail_prob = [| 0.; 1. |];  (* edge 1 always fails *)
       reroute_factor = [| 1.; 2. |];
+      drop_prob = [| 0.; 0. |];
     }
   in
   let rng = Rng.create 1 in
@@ -152,6 +200,180 @@ let test_engine_failures_inflate () =
   check_float "cost doubled"
     (2. *. Sensor.Mica2.unicast_bytes_mj mica ~bytes:10)
     (Simnet.Engine.total_energy engine)
+
+(* ---- fault injection & the reliability sublayer ---- *)
+
+let test_reliable_lossless_equals_legacy () =
+  (* With a fault model that never drops anything, the ACK/retransmit
+     machinery must charge exactly what the direct path charges. *)
+  let topo = chain 2 in
+  let run fault =
+    let engine =
+      Simnet.Engine.create topo mica ?fault ~payload_bytes:(fun _ -> 10) ()
+    in
+    Simnet.Engine.on_message engine ~node:1 (fun api ~src:_ () ->
+        api.Simnet.Engine.send ~dst:0 ());
+    Simnet.Engine.on_message engine ~node:0 (fun _ ~src:_ () -> ());
+    Simnet.Engine.inject engine ~node:1 ();
+    ignore (Simnet.Engine.run engine);
+    engine
+  in
+  let legacy = run None in
+  let reliable = run (Some (Simnet.Fault.none ~n:2, Rng.create 1)) in
+  check_float "same total energy"
+    (Simnet.Engine.total_energy legacy)
+    (Simnet.Engine.total_energy reliable);
+  check_float "same split, node 0"
+    (Simnet.Engine.energy_of legacy 0)
+    (Simnet.Engine.energy_of reliable 0);
+  Alcotest.(check int) "no retransmissions" 0
+    (Simnet.Engine.retransmissions_sent reliable);
+  Alcotest.(check int) "no drops" 0 (Simnet.Engine.dropped_frames reliable)
+
+let test_reliable_in_order_exactly_once () =
+  (* 20 messages through a 50%-lossy edge: every one arrives, exactly
+     once, in send order — the sublayer restores FIFO with sequence
+     numbers and suppresses the duplicates retransmission creates. *)
+  let topo = chain 2 in
+  let engine =
+    Simnet.Engine.create topo mica
+      ~fault:(Simnet.Fault.bernoulli ~n:2 ~drop:0.5, Rng.create 42)
+      ~payload_bytes:(fun _ -> 4)
+      ()
+  in
+  let received = ref [] in
+  Simnet.Engine.on_message engine ~node:0 (fun _ ~src:_ i ->
+      received := i :: !received);
+  Simnet.Engine.on_message engine ~node:1 (fun api ~src:_ _ ->
+      for i = 0 to 19 do
+        api.Simnet.Engine.send ~dst:0 i
+      done);
+  Simnet.Engine.inject engine ~node:1 (-1);
+  ignore (Simnet.Engine.run engine);
+  Alcotest.(check (list int)) "in order, exactly once" (List.init 20 Fun.id)
+    (List.rev !received);
+  Alcotest.(check bool) "the loss was real" true
+    (Simnet.Engine.retransmissions_sent engine > 0
+    && Simnet.Engine.dropped_frames engine > 0);
+  Alcotest.(check bool) "loss costs energy" true
+    (Simnet.Engine.total_energy engine
+    > 20. *. Sensor.Mica2.unicast_bytes_mj mica ~bytes:4)
+
+let test_reliable_ack_loss_duplicates () =
+  (* When an ACK dies the sender re-sends a frame the receiver already
+     has; the duplicate is paid for (the radio heard it) but suppressed.
+     Seed 42 above produces such collisions — pin the counter here. *)
+  let topo = chain 2 in
+  let engine =
+    Simnet.Engine.create topo mica
+      ~fault:(Simnet.Fault.bernoulli ~n:2 ~drop:0.5, Rng.create 42)
+      ~payload_bytes:(fun _ -> 4)
+      ()
+  in
+  let count = ref 0 in
+  Simnet.Engine.on_message engine ~node:0 (fun _ ~src:_ _ -> incr count);
+  Simnet.Engine.on_message engine ~node:1 (fun api ~src:_ _ ->
+      for i = 0 to 19 do
+        api.Simnet.Engine.send ~dst:0 i
+      done);
+  Simnet.Engine.inject engine ~node:1 (-1);
+  ignore (Simnet.Engine.run engine);
+  Alcotest.(check int) "handler saw each message once" 20 !count;
+  Alcotest.(check bool) "duplicates were suppressed, not delivered" true
+    (Simnet.Engine.duplicate_frames engine > 0)
+
+let test_reliable_gives_up_on_dead_link () =
+  let topo = chain 2 in
+  let engine =
+    Simnet.Engine.create topo mica
+      ~fault:(Simnet.Fault.bernoulli ~n:2 ~drop:1., Rng.create 3)
+      ~payload_bytes:(fun _ -> 4)
+      ()
+  in
+  let delivered = ref 0 and abandoned = ref [] in
+  Simnet.Engine.on_message engine ~node:0 (fun _ ~src:_ _ -> incr delivered);
+  Simnet.Engine.on_message engine ~node:1 (fun api ~src:_ v ->
+      api.Simnet.Engine.send ~dst:0 v);
+  Simnet.Engine.on_give_up engine ~node:1 (fun _ ~dst msg ->
+      abandoned := (dst, msg) :: !abandoned);
+  Simnet.Engine.inject engine ~node:1 7;
+  ignore (Simnet.Engine.run ~max_events:100_000 engine);
+  Alcotest.(check int) "never delivered" 0 !delivered;
+  Alcotest.(check (list (pair int int))) "give-up handler told" [ (0, 7) ]
+    !abandoned;
+  Alcotest.(check int) "counted" 1 (Simnet.Engine.gave_up engine);
+  Alcotest.(check (list (pair int int))) "link declared dead" [ (1, 0) ]
+    (Simnet.Engine.dead_links engine);
+  (* A later send on the dead link fast-fails without touching the air. *)
+  let before = Simnet.Engine.unicasts_sent engine in
+  Simnet.Engine.inject engine ~node:1 1;
+  ignore (Simnet.Engine.run engine);
+  Alcotest.(check int) "fast-fail sends nothing" before
+    (Simnet.Engine.unicasts_sent engine);
+  Alcotest.(check (list (pair int int))) "second give-up" [ (0, 1); (0, 7) ]
+    !abandoned
+
+let test_crash_window_recovery () =
+  (* The receiver's radio is down for the first 0.3 s; retransmissions
+     with growing backoff must outlast the outage and deliver. *)
+  let topo = chain 2 in
+  let fault =
+    Simnet.Fault.with_crashes (Simnet.Fault.none ~n:2) [ (0, 0., 0.3) ]
+  in
+  let engine =
+    Simnet.Engine.create topo mica
+      ~fault:(fault, Rng.create 5)
+      ~payload_bytes:(fun _ -> 4)
+      ()
+  in
+  let got = ref None in
+  Simnet.Engine.on_message engine ~node:0 (fun api ~src:_ v ->
+      got := Some (v, api.Simnet.Engine.time ()));
+  Simnet.Engine.on_message engine ~node:1 (fun api ~src:_ v ->
+      api.Simnet.Engine.send ~dst:0 v);
+  Simnet.Engine.inject engine ~node:1 13;
+  ignore (Simnet.Engine.run engine);
+  (match !got with
+  | None -> Alcotest.fail "message lost to a transient outage"
+  | Some (v, at) ->
+      Alcotest.(check int) "payload intact" 13 v;
+      Alcotest.(check bool) "delivered after the radio came back" true
+        (at >= 0.3));
+  Alcotest.(check bool) "took retries" true
+    (Simnet.Engine.retransmissions_sent engine > 0);
+  Alcotest.(check (list (pair int int))) "no dead links" []
+    (Simnet.Engine.dead_links engine)
+
+let test_same_seed_same_run () =
+  let run () =
+    let topo = chain 3 in
+    let engine =
+      Simnet.Engine.create topo mica
+        ~fault:
+          ( Simnet.Fault.with_burst
+              (Simnet.Fault.bernoulli ~n:3 ~drop:0.3)
+              ~mean_length:0.05,
+            Rng.create 11 )
+        ~payload_bytes:(fun _ -> 6)
+        ()
+    in
+    Simnet.Engine.on_message engine ~node:2 (fun api ~src:_ v ->
+        api.Simnet.Engine.send ~dst:1 v);
+    Simnet.Engine.on_message engine ~node:1 (fun api ~src:_ v ->
+        api.Simnet.Engine.send ~dst:0 (v + 1));
+    Simnet.Engine.on_message engine ~node:0 (fun _ ~src:_ _ -> ());
+    for i = 0 to 9 do
+      Simnet.Engine.inject engine ~node:2 i
+    done;
+    let t = Simnet.Engine.run engine in
+    ( t,
+      Simnet.Engine.total_energy engine,
+      Simnet.Engine.retransmissions_sent engine,
+      Simnet.Engine.dropped_frames engine,
+      Simnet.Engine.duplicate_frames engine )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "bit-identical repeat" true (a = b)
 
 let test_engine_livelock_guard () =
   let topo = chain 2 in
@@ -174,6 +396,9 @@ let () =
         [
           Alcotest.test_case "time order" `Quick test_queue_order;
           Alcotest.test_case "FIFO on ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "FIFO across interleaved pops" `Quick
+            test_queue_fifo_across_pops;
+          Alcotest.test_case "burst drain" `Quick test_queue_burst_drain;
           Alcotest.test_case "NaN rejected" `Quick test_queue_nan_rejected;
           Alcotest.test_case "random interleaving" `Quick test_queue_interleaved;
         ] );
@@ -186,5 +411,19 @@ let () =
           Alcotest.test_case "timers" `Quick test_engine_timer;
           Alcotest.test_case "failures inflate cost" `Quick test_engine_failures_inflate;
           Alcotest.test_case "livelock guard" `Quick test_engine_livelock_guard;
+        ] );
+      ( "reliability",
+        [
+          Alcotest.test_case "lossless = legacy energy" `Quick
+            test_reliable_lossless_equals_legacy;
+          Alcotest.test_case "in order, exactly once at 50% loss" `Quick
+            test_reliable_in_order_exactly_once;
+          Alcotest.test_case "ACK loss makes suppressed duplicates" `Quick
+            test_reliable_ack_loss_duplicates;
+          Alcotest.test_case "dead link gives up and fast-fails" `Quick
+            test_reliable_gives_up_on_dead_link;
+          Alcotest.test_case "crash window outlasted by retries" `Quick
+            test_crash_window_recovery;
+          Alcotest.test_case "same seed, same run" `Quick test_same_seed_same_run;
         ] );
     ]
