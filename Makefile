@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-json examples clean
+.PHONY: all build test stress bench bench-quick bench-json bench-certify \
+	examples clean
 
 all: build
 
@@ -9,6 +10,14 @@ build:
 
 test:
 	dune runtest
+
+# Robustness suites: adversarial LP corpus (degenerate / near-singular /
+# badly scaled), revised-vs-dense differential checks, and planner-level
+# solver-failure injection against the certified fallback chain.
+stress:
+	dune exec test/lp/test_lp_adversarial.exe
+	dune exec test/lp/test_lp_differential.exe
+	dune exec test/core/test_robust.exe
 
 bench:
 	dune exec bench/main.exe
@@ -20,6 +29,11 @@ bench-quick:
 # warm-start comparison); writes BENCH_PR1.json at the repo root.
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_PR1.json
+
+# Certification-overhead record (checker cost vs solve time, drift
+# counters, fallback probe); writes BENCH_PR3.json at the repo root.
+bench-certify:
+	dune exec bench/main.exe -- certify
 
 examples:
 	dune exec examples/quickstart.exe

@@ -252,6 +252,128 @@ let run_json_bench path =
   Format.printf "cold: %.2f ms (%d iterations)  warm: %.2f ms (%d iterations)@."
     cold_ms (iters_of cold) warm_ms (iters_of warm)
 
+(* ---- certification-overhead record (certify -> BENCH_PR3.json) ----
+
+   What the certified fallback chain costs on the exact LP+LF models the
+   planner solves: plain solve vs solve + independent certification, the
+   numerical-drift refactorization counters, and a probe that the dense
+   rescue stage engages when the revised solver is starved.  Acceptance:
+   certification overhead below 5% of solve time. *)
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (1000. *. (Unix.gettimeofday () -. t0), r)
+
+let run_certify_bench path =
+  Format.printf "@.######## Certification overhead -> %s ########@." path;
+  let oc = open_out path in
+  let sizes =
+    if !quick then [ (40, 10, 8) ] else [ (50, 15, 10); (100, 30, 20) ]
+  in
+  let rows =
+    List.map
+      (fun (n, m, k) ->
+        let topo, cost, samples, k = lp_instance ~n ~n_samples:m ~k in
+        let anchor =
+          Prospector.Plan.expected_collection_mj topo cost
+            (Prospector.Proof_exec.min_bandwidth_plan topo)
+        in
+        let budget = 1.2 *. anchor in
+        let model = Prospector.Lp_lf.lp_model topo cost samples ~budget ~k in
+        (* Time solver and checker separately on the lowered problem (the
+           same pair {!Lp.Model.solve_certified} runs); subtracting two
+           noisy end-to-end timings would drown the checker's cost. *)
+        let prob = Lp.Model.to_problem model in
+        let reps = if n >= 100 then 7 else 15 in
+        ignore (Lp.Revised.solve prob) (* warmup *);
+        let solve_times = ref [] and cert_times = ref [] in
+        let res = ref (Lp.Revised.solve prob) and report = ref None in
+        for _ = 1 to reps do
+          let ms, r = time_ms (fun () -> Lp.Revised.solve prob) in
+          solve_times := ms :: !solve_times;
+          res := r;
+          let ms, rep =
+            time_ms (fun () ->
+                Lp.Certify.certify_optimal prob ~x:!res.Lp.Revised.x
+                  ~duals:!res.Lp.Revised.duals)
+          in
+          cert_times := ms :: !cert_times;
+          report := Some rep
+        done;
+        let solve_ms = median !solve_times and cert_ms = median !cert_times in
+        let overhead_pct = 100. *. cert_ms /. solve_ms in
+        let stats = !res.Lp.Revised.stats in
+        let drift = stats.Lp.Revised.drift_refactorizations
+        and growth = stats.Lp.Revised.growth_refactorizations in
+        let certified, gap =
+          match !report with
+          | Some r -> (r.Lp.Certify.certified, r.Lp.Certify.duality_gap)
+          | None -> (false, Float.nan)
+        in
+        Format.printf
+          "lp+lf n=%d samples=%d k=%d: solve %.3f ms, certify %.4f ms \
+           (%.2f%%), certified=%b, drift/growth refactors %d/%d@."
+          n m k solve_ms cert_ms overhead_pct certified drift growth;
+        ( overhead_pct,
+          Printf.sprintf
+            {|    {"planner": "lp+lf", "n": %d, "samples": %d, "k": %d, "solve_ms": %.4f, "certify_ms": %.4f, "overhead_pct": %.3f, "certified": %b, "duality_gap": %.6g, "drift_refactorizations": %d, "growth_refactorizations": %d}|}
+            n m k solve_ms cert_ms overhead_pct certified gap drift growth ))
+      sizes
+  in
+  let max_overhead =
+    List.fold_left (fun acc (p, _) -> Float.max acc p) neg_infinity rows
+  in
+  (* Fallback probe: starved revised solver is rejected end to end; an
+     expired deadline starves only the revised stage, so the dense
+     reference must rescue (and certify) the solve. *)
+  let n, m, k = (40, 10, 8) in
+  let topo, cost, samples, k = lp_instance ~n ~n_samples:m ~k in
+  let anchor =
+    Prospector.Plan.expected_collection_mj topo cost
+      (Prospector.Proof_exec.min_bandwidth_plan topo)
+  in
+  let model =
+    Prospector.Lp_lf.lp_model topo cost samples ~budget:(1.2 *. anchor) ~k
+  in
+  let starved_rejected =
+    match Prospector.Robust_plan.solve ~max_iterations:0 model with
+    | Error (Prospector.Robust_plan.No_certified_solution _) -> true
+    | _ -> false
+  in
+  let dense_ms, dense_rescued =
+    time_ms (fun () ->
+        match Prospector.Robust_plan.solve ~deadline:0. model with
+        | Ok r ->
+            r.Prospector.Robust_plan.provenance
+            = Prospector.Robust_plan.Certified_dense
+        | Error _ -> false)
+  in
+  Format.printf
+    "fallback probe: starved rejected=%b, dense rescue=%b (%.2f ms)@."
+    starved_rejected dense_rescued dense_ms;
+  Printf.fprintf oc
+    {|{
+  "seed": %d,
+  "certification_overhead": [
+%s
+  ],
+  "acceptance": {"threshold_pct": 5.0, "max_overhead_pct": %.3f, "pass": %b},
+  "fallback_probe": {
+    "instance": {"n": %d, "samples": %d, "k": %d},
+    "starved_solver_rejected": %b,
+    "expired_deadline_dense_rescue": %b,
+    "dense_rescue_ms": %.3f
+  }
+}
+|}
+    !seed
+    (String.concat ",\n" (List.map snd rows))
+    max_overhead
+    (max_overhead < 5.0)
+    n m k starved_rejected dense_rescued dense_ms;
+  close_out oc
+
 let all_experiments =
   [
     ("table1", `Plain (fun () -> Experiments.Table1.run ()));
@@ -270,6 +392,7 @@ let all_experiments =
     ("lifetime", `Fig Experiments.Lifetime_exp.run);
     ("modelgen", `Fig Experiments.Model_sampling.run);
     ("lptime", `Plain run_lp_timing);
+    ("certify", `Plain (fun () -> run_certify_bench "BENCH_PR3.json"));
   ]
 
 let usage () =

@@ -1,8 +1,7 @@
-let plan topo cost samples ~budget =
-  if budget < 0. then invalid_arg "Greedy.plan: negative budget";
+let chosen_by_colsum topo cost ~colsum ~budget =
+  if budget < 0. then invalid_arg "Greedy.chosen_by_colsum: negative budget";
   let n = topo.Sensor.Topology.n in
   let root = topo.Sensor.Topology.root in
-  let colsum = samples.Sampling.Sample_set.colsum in
   (* Candidates by decreasing column sum, node id breaking ties. *)
   let candidates =
     List.init n (fun i -> i)
@@ -51,4 +50,10 @@ let plan topo cost samples ~budget =
     | node :: rest -> if try_add node then add_all rest
   in
   add_all candidates;
-  Plan.of_chosen topo chosen
+  chosen
+
+let plan topo cost samples ~budget =
+  if budget < 0. then invalid_arg "Greedy.plan: negative budget";
+  Plan.of_chosen topo
+    (chosen_by_colsum topo cost ~colsum:samples.Sampling.Sample_set.colsum
+       ~budget)

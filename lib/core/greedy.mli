@@ -16,3 +16,15 @@ val plan :
 (** Stops at the first candidate whose addition would exceed [budget]
     (matching the paper's description).  Nodes that never appear in any
     sample's top k are never added. *)
+
+val chosen_by_colsum :
+  Sensor.Topology.t ->
+  Sensor.Cost.t ->
+  colsum:int array ->
+  budget:float ->
+  bool array
+(** The node selection behind {!plan}, parameterized directly by column
+    sums (how often each node appears in sample answers).  The root is
+    always chosen.  Also serves as the last-resort fallback of the
+    {!Robust_plan} chain, where it replaces an LP solution that could not
+    be certified. *)

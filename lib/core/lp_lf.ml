@@ -5,9 +5,10 @@ type result = {
   fractional : float array;
   budget_shadow_price : float;
   basis : Lp.Model.basis option;
+  provenance : Robust_plan.provenance;
 }
 
-let plan ?warm_start topo cost samples ~budget ~k =
+let build topo cost samples ~budget ~k =
   if budget < 0. then invalid_arg "Lp_lf.plan: negative budget";
   if k < 1 then invalid_arg "Lp_lf.plan: k must be positive";
   let n = topo.Sensor.Topology.n in
@@ -80,10 +81,48 @@ let plan ?warm_start topo cost samples ~budget ~k =
         :: !budget_terms
   done;
   Lp.Model.add_le model !budget_terms budget;
-  let sol = Lp.Model.solve ?warm_start model in
-  (match sol.Lp.Model.status with
-  | Lp.Model.Optimal -> ()
-  | _ -> failwith "Lp_lf.plan: LP did not reach optimality");
+  (model, getb)
+
+let lp_model topo cost samples ~budget ~k =
+  fst (build topo cost samples ~budget ~k)
+
+let plan ?warm_start ?max_lp_iterations ?lp_deadline topo cost samples ~budget
+    ~k =
+  let n = topo.Sensor.Topology.n in
+  let root = topo.Sensor.Topology.root in
+  let model, getb = build topo cost samples ~budget ~k in
+  match
+    Robust_plan.solve ?warm_start ?max_iterations:max_lp_iterations
+      ?deadline:lp_deadline model
+  with
+  | Error _ ->
+      (* No certified LP solution: ship the greedy selection without local
+         filtering.  Its objective is the covered-ones count the selection
+         achieves on the samples (the same currency as the LP's). *)
+      let chosen =
+        Greedy.chosen_by_colsum topo cost
+          ~colsum:samples.Sampling.Sample_set.colsum ~budget
+      in
+      let plan = Plan.of_chosen topo chosen in
+      let lp_objective = ref 0. in
+      for i = 0 to n - 1 do
+        if chosen.(i) && i <> root then
+          lp_objective :=
+            !lp_objective
+            +. float_of_int samples.Sampling.Sample_set.colsum.(i)
+      done;
+      {
+        plan;
+        lp_objective = !lp_objective;
+        lp_stats = None;
+        fractional =
+          Array.init n (fun i -> float_of_int (Plan.bandwidth plan i));
+        budget_shadow_price = 0.;
+        basis = None;
+        provenance = Robust_plan.Fell_back_greedy;
+      }
+  | Ok r ->
+  let sol = r.Robust_plan.solution in
   let fractional = Array.make n 0. in
   for i = 0 to n - 1 do
     if i <> root then fractional.(i) <- Lp.Model.value sol (getb i)
@@ -101,4 +140,5 @@ let plan ?warm_start topo cost samples ~budget ~k =
     fractional;
     budget_shadow_price;
     basis = sol.Lp.Model.basis;
+    provenance = r.Robust_plan.provenance;
   }

@@ -28,10 +28,14 @@ type result = {
       (** warm-start token: feed it back as [?warm_start] to a later [plan]
           call over the same topology and sample-set shape (e.g. a re-plan
           with a perturbed budget) to reuse this solve's final basis *)
+  provenance : Robust_plan.provenance;
+      (** which stage of the certified fallback chain produced the plan *)
 }
 
 val plan :
   ?warm_start:Lp.Model.basis ->
+  ?max_lp_iterations:int ->
+  ?lp_deadline:float ->
   Sensor.Topology.t ->
   Sensor.Cost.t ->
   Sampling.Sample_set.t ->
@@ -40,4 +44,19 @@ val plan :
   result
 (** [k] caps the useful bandwidth of any edge (sending more than [k]
     values cannot improve a top-k answer).  [warm_start] is best-effort:
-    incompatible tokens are ignored. *)
+    incompatible tokens are ignored.  [max_lp_iterations]/[lp_deadline]
+    bound the LP stages; when both fail certification the plan is the
+    greedy selection shipped without local filtering (provenance
+    {!Robust_plan.Fell_back_greedy}) and the call never raises on solver
+    failure. *)
+
+val lp_model :
+  Sensor.Topology.t ->
+  Sensor.Cost.t ->
+  Sampling.Sample_set.t ->
+  budget:float ->
+  k:int ->
+  Lp.Model.t
+(** The LP+LF relaxation as a bare {!Lp.Model.t}, without solving or
+    rounding — for benchmarks and diagnostics (e.g. measuring certification
+    overhead on the exact model the planner solves). *)

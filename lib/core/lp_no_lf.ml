@@ -4,13 +4,15 @@ type result = {
   lp_stats : Lp.Revised.stats option;
   chosen : bool array;
   basis : Lp.Model.basis option;
+  provenance : Robust_plan.provenance;
 }
 
-let plan ?warm_start topo cost samples ~budget =
+let plan ?warm_start ?max_lp_iterations ?lp_deadline topo cost samples ~budget
+    =
   if budget < 0. then invalid_arg "Lp_no_lf.plan: negative budget";
   let r =
-    Ship_lp.plan_by_colsum ?warm_start topo cost
-      ~colsum:samples.Sampling.Sample_set.colsum ~budget
+    Ship_lp.plan_by_colsum ?warm_start ?max_lp_iterations ?lp_deadline topo
+      cost ~colsum:samples.Sampling.Sample_set.colsum ~budget
   in
   {
     plan = Plan.of_chosen topo r.Ship_lp.chosen;
@@ -18,4 +20,5 @@ let plan ?warm_start topo cost samples ~budget =
     lp_stats = r.Ship_lp.lp_stats;
     chosen = r.Ship_lp.chosen;
     basis = r.Ship_lp.basis;
+    provenance = r.Ship_lp.provenance;
   }

@@ -23,13 +23,20 @@ type result = {
   chosen : bool array;  (** rounded node selection *)
   basis : Lp.Model.basis option;
       (** warm-start token for re-planning the same-shaped LP *)
+  provenance : Robust_plan.provenance;
+      (** which stage of the certified fallback chain produced the plan *)
 }
 
 val plan :
   ?warm_start:Lp.Model.basis ->
+  ?max_lp_iterations:int ->
+  ?lp_deadline:float ->
   Sensor.Topology.t ->
   Sensor.Cost.t ->
   Sampling.Sample_set.t ->
   budget:float ->
   result
-(** [warm_start] is best-effort: incompatible tokens are ignored. *)
+(** [warm_start] is best-effort: incompatible tokens are ignored.
+    [max_lp_iterations]/[lp_deadline] bound the LP stages; when both
+    stages fail certification the plan comes from {!Greedy} (see
+    {!Robust_plan}) and the call never raises on solver failure. *)

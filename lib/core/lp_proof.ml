@@ -3,11 +3,13 @@ type result = {
   lp_objective : float;
   lp_stats : Lp.Revised.stats option;
   basis : Lp.Model.basis option;
+  provenance : Robust_plan.provenance;
 }
 
 exception Budget_too_small of float
 
-let plan ?warm_start topo cost samples ~budget ~k =
+let plan ?warm_start ?max_lp_iterations ?lp_deadline topo cost samples ~budget
+    ~k =
   if k < 1 then invalid_arg "Lp_proof.plan: k must be positive";
   let n = topo.Sensor.Topology.n in
   let root = topo.Sensor.Topology.root in
@@ -180,10 +182,24 @@ let plan ?warm_start topo cost samples ~budget ~k =
      feasible despite floating-point accumulation in [fixed]. *)
   let rhs = Float.max (budget -. fixed) (!min_value_spend *. (1. +. 1e-9)) in
   Lp.Model.add_le model !budget_terms rhs;
-  let sol = Lp.Model.solve ?warm_start model in
-  (match sol.Lp.Model.status with
-  | Lp.Model.Optimal -> ()
-  | _ -> failwith "Lp_proof.plan: LP did not reach optimality");
+  match
+    Robust_plan.solve ?warm_start ?max_iterations:max_lp_iterations
+      ?deadline:lp_deadline model
+  with
+  | Error _ ->
+      (* No certified LP solution.  The budget check above guarantees the
+         minimum proof plan (bandwidth 1 everywhere) is affordable, and it
+         is always executable — its provable count is just not optimized,
+         so the reported relaxation objective claims nothing. *)
+      {
+        plan = Proof_exec.min_bandwidth_plan topo;
+        lp_objective = 0.;
+        lp_stats = None;
+        basis = None;
+        provenance = Robust_plan.Fell_back_greedy;
+      }
+  | Ok r ->
+  let sol = r.Robust_plan.solution in
   let fractional = Array.make n 0. in
   let bonus = ref 0. in
   for i = 0 to n - 1 do
@@ -199,4 +215,5 @@ let plan ?warm_start topo cost samples ~budget ~k =
       (sol.Lp.Model.objective -. !bonus) /. float_of_int n_samples;
     lp_stats = sol.Lp.Model.stats;
     basis = sol.Lp.Model.basis;
+    provenance = r.Robust_plan.provenance;
   }

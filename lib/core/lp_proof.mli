@@ -25,6 +25,8 @@ type result = {
   lp_stats : Lp.Revised.stats option;
   basis : Lp.Model.basis option;
       (** warm-start token for re-planning the same-shaped LP *)
+  provenance : Robust_plan.provenance;
+      (** which stage of the certified fallback chain produced the plan *)
 }
 
 exception Budget_too_small of float
@@ -33,10 +35,17 @@ exception Budget_too_small of float
 
 val plan :
   ?warm_start:Lp.Model.basis ->
+  ?max_lp_iterations:int ->
+  ?lp_deadline:float ->
   Sensor.Topology.t ->
   Sensor.Cost.t ->
   Sampling.Sample_set.t ->
   budget:float ->
   k:int ->
   result
-(** [warm_start] is best-effort: incompatible tokens are ignored. *)
+(** [warm_start] is best-effort: incompatible tokens are ignored.
+    [max_lp_iterations]/[lp_deadline] bound the LP stages; when both fail
+    certification the result is the minimum proof plan (bandwidth 1 on
+    every edge, always executable and affordable past the
+    {!Budget_too_small} gate) with provenance
+    {!Robust_plan.Fell_back_greedy}. *)

@@ -33,12 +33,23 @@ let expected_accuracy topo cost plan ~k samples =
   in
   total /. float_of_int (Array.length epochs)
 
-let consider t topo cost mica samples ~k ~budget =
+let consider ?max_lp_iterations ?lp_deadline t topo cost mica samples ~k
+    ~budget =
   (* Successive epochs re-solve nearly identical LPs: reuse the previous
      epoch's final basis.  When the sample window changes the LP's shape the
      token is silently ignored and the solve starts cold. *)
-  let r = Lp_lf.plan ?warm_start:t.warm topo cost samples ~budget ~k in
-  t.warm <- r.Lp_lf.basis;
+  let r =
+    Lp_lf.plan ?warm_start:t.warm ?max_lp_iterations ?lp_deadline topo cost
+      samples ~budget ~k
+  in
+  (* A fallback result carries no basis; keep the previous token so the
+     next epoch can still warm-start from the last certified solve. *)
+  (match r.Lp_lf.basis with Some _ -> t.warm <- r.Lp_lf.basis | None -> ());
+  if r.Lp_lf.provenance = Robust_plan.Fell_back_greedy then
+    (* Never disseminate an uncertified candidate: the greedy fallback is a
+       safety net for answering queries, not a plan worth an install. *)
+    Kept
+  else begin
   let candidate = r.Lp_lf.plan in
   let incumbent_score = expected_accuracy topo cost t.plan ~k samples in
   let candidate_score = expected_accuracy topo cost candidate ~k samples in
@@ -57,3 +68,4 @@ let consider t topo cost mica samples ~k ~budget =
     Disseminated candidate
   end
   else Kept
+  end

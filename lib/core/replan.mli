@@ -41,6 +41,8 @@ val expected_accuracy :
     executed on that sample — the score the policy compares. *)
 
 val consider :
+  ?max_lp_iterations:int ->
+  ?lp_deadline:float ->
   t ->
   Sensor.Topology.t ->
   Sensor.Cost.t ->
@@ -52,4 +54,8 @@ val consider :
 (** Re-optimize (PROSPECTOR-LP+LF) against the given samples and decide.
     A candidate must beat the incumbent by [min_gain] expected accuracy
     {e and} offer a per-run energy headroom that repays the install cost
-    within [amortization_runs] executions. *)
+    within [amortization_runs] executions.  A candidate whose provenance is
+    {!Robust_plan.Fell_back_greedy} (no LP stage could be certified, e.g.
+    under a crippled [max_lp_iterations]/[lp_deadline]) is never
+    disseminated: the answer is always [Kept] and the stored warm-start
+    token survives for the next certified solve. *)

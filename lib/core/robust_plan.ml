@@ -1,0 +1,61 @@
+let src = Logs.Src.create "prospector.robust" ~doc:"Certified LP fallback chain"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type provenance = Certified_revised | Certified_dense | Fell_back_greedy
+
+type lp_result = {
+  solution : Lp.Model.solution;
+  report : Lp.Certify.report;
+  provenance : provenance;
+}
+
+type failure =
+  | Proved_infeasible of Lp.Certify.report
+  | Proved_unbounded of Lp.Certify.report
+  | No_certified_solution of string list
+
+let solve ?warm_start ?max_iterations ?deadline model =
+  let sol, report =
+    Lp.Model.solve_certified ?warm_start ?max_iterations ?deadline model
+  in
+  if report.Lp.Certify.certified then
+    match sol.Lp.Model.status with
+    | Lp.Model.Optimal ->
+        Ok { solution = sol; report; provenance = Certified_revised }
+    | Lp.Model.Infeasible -> Error (Proved_infeasible report)
+    | Lp.Model.Unbounded -> Error (Proved_unbounded report)
+    | Lp.Model.Iteration_limit ->
+        (* [solve_certified] rejects limit statuses outright. *)
+        assert false
+  else begin
+    let revised_reasons = report.Lp.Certify.reasons in
+    Log.warn (fun m ->
+        m "revised solve not certified (%s); retrying with the dense reference"
+          (String.concat "; " revised_reasons));
+    let dsol, dreport =
+      Lp.Model.solve_dense_certified ?max_pivots:max_iterations model
+    in
+    if dreport.Lp.Certify.certified then
+      Ok { solution = dsol; report = dreport; provenance = Certified_dense }
+    else begin
+      Log.warn (fun m ->
+          m "dense solve not certified either (%s); planner must fall back"
+            (String.concat "; " dreport.Lp.Certify.reasons));
+      Error
+        (No_certified_solution
+           (revised_reasons @ dreport.Lp.Certify.reasons))
+    end
+  end
+
+let pp_provenance ppf = function
+  | Certified_revised -> Format.pp_print_string ppf "certified-revised"
+  | Certified_dense -> Format.pp_print_string ppf "certified-dense"
+  | Fell_back_greedy -> Format.pp_print_string ppf "fell-back-greedy"
+
+let pp_failure ppf = function
+  | Proved_infeasible _ -> Format.pp_print_string ppf "proved-infeasible"
+  | Proved_unbounded _ -> Format.pp_print_string ppf "proved-unbounded"
+  | No_certified_solution reasons ->
+      Format.fprintf ppf "no-certified-solution (%s)"
+        (String.concat "; " reasons)

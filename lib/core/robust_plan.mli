@@ -1,0 +1,55 @@
+(** Certified LP solving with a fallback chain (robustness layer).
+
+    The LP planners treat the simplex solvers as untrusted components:
+    every claimed solution is re-checked by {!Lp.Certify} against nothing
+    but the problem data, and a failed check triggers a fallback instead of
+    a crash or a silently wrong plan.  The chain is
+
+    {v revised simplex -> certify -> dense tableau -> certify -> greedy v}
+
+    where the greedy step lives in the individual planners (it needs
+    planner-specific inputs); this module covers the two LP stages and
+    tells the planner, via {!provenance}, which stage produced the answer
+    it is about to ship. *)
+
+type provenance =
+  | Certified_revised
+      (** the revised simplex solution passed independent certification *)
+  | Certified_dense
+      (** the revised solution failed certification (or hit its budget);
+          the dense reference tableau's solution passed instead *)
+  | Fell_back_greedy
+      (** neither LP stage produced a certified solution; the planner used
+          its combinatorial greedy fallback.  Never disseminated by
+          {!Replan}. *)
+
+type lp_result = {
+  solution : Lp.Model.solution;
+  report : Lp.Certify.report;  (** the certification that admitted it *)
+  provenance : provenance;  (** {!Certified_revised} or {!Certified_dense} *)
+}
+
+type failure =
+  | Proved_infeasible of Lp.Certify.report
+      (** the model is infeasible, with a certified Farkas certificate *)
+  | Proved_unbounded of Lp.Certify.report
+      (** the model is unbounded, with a certified improving ray *)
+  | No_certified_solution of string list
+      (** neither solver produced a certifiable claim; the reasons from
+          both certification attempts, in chain order *)
+
+val solve :
+  ?warm_start:Lp.Model.basis ->
+  ?max_iterations:int ->
+  ?deadline:float ->
+  Lp.Model.t ->
+  (lp_result, failure) result
+(** Run the chain on a model.  [max_iterations] caps the revised solver's
+    pivots and the dense solver's total pivots alike (so tests can cripple
+    both stages); [deadline] is a wall-clock budget for the revised stage.
+    Never raises on solver failure: the worst outcome is
+    [Error (No_certified_solution _)], which a planner answers with its
+    greedy fallback. *)
+
+val pp_provenance : Format.formatter -> provenance -> unit
+val pp_failure : Format.formatter -> failure -> unit

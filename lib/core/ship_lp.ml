@@ -3,9 +3,11 @@ type result = {
   lp_objective : float;
   lp_stats : Lp.Revised.stats option;
   basis : Lp.Model.basis option;
+  provenance : Robust_plan.provenance;
 }
 
-let plan_by_colsum ?warm_start topo cost ~colsum ~budget =
+let plan_by_colsum ?warm_start ?max_lp_iterations ?lp_deadline topo cost
+    ~colsum ~budget =
   if budget < 0. then invalid_arg "Ship_lp.plan_by_colsum: negative budget";
   let n = topo.Sensor.Topology.n in
   if Array.length colsum <> n then
@@ -45,10 +47,29 @@ let plan_by_colsum ?warm_start topo cost ~colsum ~budget =
     end
   done;
   Lp.Model.add_le model !budget_terms budget;
-  let sol = Lp.Model.solve ?warm_start model in
-  (match sol.Lp.Model.status with
-  | Lp.Model.Optimal -> ()
-  | _ -> failwith "Ship_lp.plan_by_colsum: LP did not reach optimality");
+  match
+    Robust_plan.solve ?warm_start ?max_iterations:max_lp_iterations
+      ?deadline:lp_deadline model
+  with
+  | Error _ ->
+      (* No certified LP solution (or a certified infeasible/unbounded
+         verdict, which these always-feasible programs cannot honestly
+         produce): plan combinatorially instead of crashing. *)
+      let chosen = Greedy.chosen_by_colsum topo cost ~colsum ~budget in
+      let lp_objective = ref 0. in
+      for i = 0 to n - 1 do
+        if chosen.(i) && i <> root then
+          lp_objective := !lp_objective +. float_of_int colsum.(i)
+      done;
+      {
+        chosen;
+        lp_objective = !lp_objective;
+        lp_stats = None;
+        basis = None;
+        provenance = Robust_plan.Fell_back_greedy;
+      }
+  | Ok r ->
+  let sol = r.Robust_plan.solution in
   let chosen = Array.make n false in
   chosen.(root) <- true;
   for i = 0 to n - 1 do
@@ -105,4 +126,5 @@ let plan_by_colsum ?warm_start topo cost ~colsum ~budget =
     lp_objective = sol.Lp.Model.objective;
     lp_stats = sol.Lp.Model.stats;
     basis = sol.Lp.Model.basis;
+    provenance = r.Robust_plan.provenance;
   }

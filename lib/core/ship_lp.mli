@@ -9,18 +9,24 @@ type result = {
   lp_stats : Lp.Revised.stats option;
   basis : Lp.Model.basis option;
       (** warm-start token for re-planning the same-shaped LP *)
+  provenance : Robust_plan.provenance;
+      (** which stage of the fallback chain produced [chosen] *)
 }
 
 val plan_by_colsum :
   ?warm_start:Lp.Model.basis ->
+  ?max_lp_iterations:int ->
+  ?lp_deadline:float ->
   Sensor.Topology.t ->
   Sensor.Cost.t ->
   colsum:int array ->
   budget:float ->
   result
-(** Solve the relaxation, round at 1/2, then spend leftover budget on the
-    most fractional remaining nodes.  [warm_start] is best-effort: tokens
-    from a differently shaped model are ignored.  @raise Invalid_argument
-    on a negative budget; @raise Failure if the LP solver fails (cannot
-    happen for these always-feasible programs unless iteration limits are
-    hit). *)
+(** Solve the relaxation through the {!Robust_plan} certified chain, round
+    at 1/2, then spend leftover budget on the most fractional remaining
+    nodes.  When no LP stage yields a certified solution (e.g. a crippled
+    [max_lp_iterations] or exhausted [lp_deadline]) the node selection
+    comes from {!Greedy.chosen_by_colsum} instead and [provenance] says
+    so — the function never raises on solver failure.  [warm_start] is
+    best-effort: tokens from a differently shaped model are ignored.
+    @raise Invalid_argument on a negative budget. *)

@@ -3,14 +3,15 @@ type result = {
   chosen : bool array;
   lp_objective : float;
   lp_stats : Lp.Revised.stats option;
+  provenance : Robust_plan.provenance;
 }
 
-let plan topo cost answers ~budget =
+let plan ?max_lp_iterations ?lp_deadline topo cost answers ~budget =
   if budget < 0. then invalid_arg "Subset_planner.plan: negative budget";
   if answers.Sampling.Answers.n <> topo.Sensor.Topology.n then
     invalid_arg "Subset_planner.plan: network size mismatch";
   let r =
-    Ship_lp.plan_by_colsum topo cost
+    Ship_lp.plan_by_colsum ?max_lp_iterations ?lp_deadline topo cost
       ~colsum:answers.Sampling.Answers.colsum ~budget
   in
   {
@@ -18,4 +19,5 @@ let plan topo cost answers ~budget =
     chosen = r.Ship_lp.chosen;
     lp_objective = r.Ship_lp.lp_objective;
     lp_stats = r.Ship_lp.lp_stats;
+    provenance = r.Ship_lp.provenance;
   }

@@ -14,12 +14,18 @@ type result = {
   chosen : bool array;
   lp_objective : float;
   lp_stats : Lp.Revised.stats option;
+  provenance : Robust_plan.provenance;
+      (** which stage of the certified fallback chain produced the plan *)
 }
 
 val plan :
+  ?max_lp_iterations:int ->
+  ?lp_deadline:float ->
   Sensor.Topology.t ->
   Sensor.Cost.t ->
   Sampling.Answers.t ->
   budget:float ->
   result
-(** The root's own reading is always available and is never planned for. *)
+(** The root's own reading is always available and is never planned for.
+    [max_lp_iterations]/[lp_deadline] bound the LP stages (see
+    {!Robust_plan}); the call never raises on solver failure. *)

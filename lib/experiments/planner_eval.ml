@@ -5,14 +5,18 @@ let greedy (s : Setup.t) ~budget =
   Evaluate.approx s.Setup.topo s.Setup.cost s.Setup.mica plan ~k:s.Setup.k
     ~epochs:s.Setup.test_epochs
 
-let lp_no_lf (s : Setup.t) ~budget =
-  let r = Lp_no_lf.plan s.Setup.topo s.Setup.cost s.Setup.samples ~budget in
+let lp_no_lf ?lp_iterations (s : Setup.t) ~budget =
+  let r =
+    Lp_no_lf.plan ?max_lp_iterations:lp_iterations s.Setup.topo s.Setup.cost
+      s.Setup.samples ~budget
+  in
   Evaluate.approx s.Setup.topo s.Setup.cost s.Setup.mica r.Lp_no_lf.plan
     ~k:s.Setup.k ~epochs:s.Setup.test_epochs
 
-let lp_lf (s : Setup.t) ~budget =
+let lp_lf ?lp_iterations (s : Setup.t) ~budget =
   let r =
-    Lp_lf.plan s.Setup.topo s.Setup.cost s.Setup.samples ~budget ~k:s.Setup.k
+    Lp_lf.plan ?max_lp_iterations:lp_iterations s.Setup.topo s.Setup.cost
+      s.Setup.samples ~budget ~k:s.Setup.k
   in
   Evaluate.approx s.Setup.topo s.Setup.cost s.Setup.mica r.Lp_lf.plan
     ~k:s.Setup.k ~epochs:s.Setup.test_epochs
@@ -55,10 +59,10 @@ let oracle_proof (s : Setup.t) =
   Evaluate.oracle_proof s.Setup.topo s.Setup.cost s.Setup.mica ~k:s.Setup.k
     ~epochs:s.Setup.test_epochs
 
-let exact (s : Setup.t) ~budget =
+let exact ?lp_iterations (s : Setup.t) ~budget =
   let r =
-    Lp_proof.plan s.Setup.topo s.Setup.cost s.Setup.samples ~budget
-      ~k:s.Setup.k
+    Lp_proof.plan ?max_lp_iterations:lp_iterations s.Setup.topo s.Setup.cost
+      s.Setup.samples ~budget ~k:s.Setup.k
   in
   Evaluate.exact s.Setup.topo s.Setup.cost s.Setup.mica r.Lp_proof.plan
     ~k:s.Setup.k ~epochs:s.Setup.test_epochs

@@ -3,9 +3,14 @@
 
 val greedy : Setup.t -> budget:float -> Prospector.Evaluate.point
 
-val lp_no_lf : Setup.t -> budget:float -> Prospector.Evaluate.point
+val lp_no_lf :
+  ?lp_iterations:int -> Setup.t -> budget:float -> Prospector.Evaluate.point
 
-val lp_lf : Setup.t -> budget:float -> Prospector.Evaluate.point
+val lp_lf :
+  ?lp_iterations:int -> Setup.t -> budget:float -> Prospector.Evaluate.point
+(** [lp_iterations] caps the LP solver stages (see
+    {!Prospector.Robust_plan}); a crippled budget exercises the planner's
+    greedy fallback while still returning a measured point. *)
 
 val naive_k : Setup.t -> k:int -> Prospector.Evaluate.point
 (** [k] may differ from the setup's query size: the paper varies the
@@ -18,7 +23,11 @@ val oracle : Setup.t -> k:int -> Prospector.Evaluate.point
 
 val oracle_proof : Setup.t -> Prospector.Evaluate.point
 
-val exact : Setup.t -> budget:float -> Prospector.Evaluate.point * Prospector.Evaluate.point
+val exact :
+  ?lp_iterations:int ->
+  Setup.t ->
+  budget:float ->
+  Prospector.Evaluate.point * Prospector.Evaluate.point
 (** Plan phase 1 with PROSPECTOR-PROOF under [budget], run the two-phase
     exact query; returns the per-phase measured points. *)
 

@@ -1,6 +1,6 @@
 type sense = Le | Ge | Eq
 
-type status = Optimal | Infeasible | Unbounded
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
 type result = { status : status; x : float array; objective : float }
 
@@ -34,8 +34,9 @@ let pivot t ~row ~col =
   t.basis.(row) <- col
 
 (* One simplex phase with Bland's rule.  [allowed j] filters the columns
-   that may enter.  Returns [`Optimal] or [`Unbounded]. *)
-let run_phase t ~allowed =
+   that may enter; [budget] is the remaining pivot allowance shared across
+   phases.  Returns [`Optimal], [`Unbounded] or [`Limit]. *)
+let run_phase t ~budget ~allowed =
   let rec loop () =
     (* Entering: first allowed column with a negative reduced cost. *)
     let entering = ref (-1) in
@@ -68,7 +69,9 @@ let run_phase t ~allowed =
         end
       done;
       if !best_row < 0 then `Unbounded
+      else if !budget <= 0 then `Limit
       else begin
+        decr budget;
         pivot t ~row:!best_row ~col;
         loop ()
       end
@@ -76,7 +79,8 @@ let run_phase t ~allowed =
   in
   loop ()
 
-let solve ?(maximize = false) ~obj ~constraints () =
+let solve ?(maximize = false) ?(max_pivots = max_int) ~obj ~constraints () =
+  let budget = ref max_pivots in
   let nvars = Array.length obj in
   let m = Array.length constraints in
   Array.iter
@@ -166,20 +170,26 @@ let solve ?(maximize = false) ~obj ~constraints () =
   in
   (* Phase 1 if any artificial is present. *)
   let phase1_ok =
-    if !art_cols = [] then true
+    if !art_cols = [] then `Feasible
     else begin
       let c1 = Array.make ncols 0. in
       List.iter (fun j -> c1.(j) <- 1.) !art_cols;
       objective_row_from c1;
-      (match run_phase t ~allowed:(fun _ -> true) with
+      match run_phase t ~budget ~allowed:(fun _ -> true) with
       | `Unbounded -> assert false (* phase-1 objective is bounded below *)
-      | `Optimal -> ());
-      (* -tab.(m).(ncols) is the phase-1 optimum. *)
-      Float.abs t.tab.(m).(ncols) <= 1e-7
+      | `Limit -> `Limit
+      | `Optimal ->
+          (* -tab.(m).(ncols) is the phase-1 optimum. *)
+          if Float.abs t.tab.(m).(ncols) <= 1e-7 then `Feasible
+          else `Infeasible
     end
   in
-  if not phase1_ok then { status = Infeasible; x = Array.make nvars 0.; objective = 0. }
-  else begin
+  match phase1_ok with
+  | `Limit ->
+      { status = Iteration_limit; x = Array.make nvars 0.; objective = 0. }
+  | `Infeasible ->
+      { status = Infeasible; x = Array.make nvars 0.; objective = 0. }
+  | `Feasible -> begin
     (* Pivot any artificial still basic (at zero) out when possible. *)
     for i = 0 to m - 1 do
       if is_artificial.(t.basis.(i)) then begin
@@ -199,7 +209,8 @@ let solve ?(maximize = false) ~obj ~constraints () =
     let c2 = Array.make ncols 0. in
     Array.blit real_obj 0 c2 0 nvars;
     objective_row_from c2;
-    match run_phase t ~allowed:(fun j -> not is_artificial.(j)) with
+    match run_phase t ~budget ~allowed:(fun j -> not is_artificial.(j)) with
     | `Optimal -> finish Optimal
     | `Unbounded -> finish Unbounded
+    | `Limit -> { status = Iteration_limit; x = Array.make nvars 0.; objective = 0. }
   end

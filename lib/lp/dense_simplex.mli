@@ -8,7 +8,7 @@
 
 type sense = Le | Ge | Eq
 
-type status = Optimal | Infeasible | Unbounded
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
 type result = {
   status : status;
@@ -18,9 +18,13 @@ type result = {
 
 val solve :
   ?maximize:bool ->
+  ?max_pivots:int ->
   obj:float array ->
   constraints:(float array * sense * float) array ->
   unit ->
   result
 (** [solve ~obj ~constraints ()] optimizes [obj . x] subject to the given
-    dense rows and [x >= 0].  Default is minimization. *)
+    dense rows and [x >= 0].  Default is minimization.  [max_pivots]
+    (default unlimited) caps the total pivots across both phases; when
+    exhausted the result is [Iteration_limit] with a zero [x] — primarily
+    for exercising solver-failure paths in tests. *)

@@ -158,7 +158,12 @@ let objective_of t values =
   !acc
 
 let finish_revised t ?row_duals ?basis full_x status stats =
-  let values = Array.sub full_x 0 t.nvars in
+  (* Values are only meaningful at an optimum; zero them otherwise so no
+     caller can accidentally consume a half-converged iterate. *)
+  let values =
+    if status = Optimal then Array.sub full_x 0 t.nvars
+    else Array.make t.nvars 0.
+  in
   { status; objective = objective_of t values; values; stats; row_duals; basis }
 
 let map_status = function
@@ -167,32 +172,40 @@ let map_status = function
   | Revised.Unbounded -> Unbounded
   | Revised.Iteration_limit -> Iteration_limit
 
-let solve_revised ?(presolve = false) ?max_iterations ?bland_after ?warm_start t
-    =
+(* Non-presolve revised solve, also returning the lowered problem and the
+   raw solver result so {!solve_certified} can re-check them. *)
+let solve_raw ?max_iterations ?deadline ?bland_after ?warm_start t =
   let prob = to_problem t in
-  if not presolve then begin
-    (* A warm basis is only meaningful for a model of identical shape: the
-       lowering maps variable [v] to column [v] and row [i]'s slack to
-       column [nvars + i], so (nvars, nrows) equality makes bases portable
-       across solves (and across freshly built models of the same shape). *)
-    let basis =
-      match warm_start with
-      | Some w when w.b_nvars = t.nvars && w.b_nrows = t.nrows -> Some w.rb
-      | _ -> None
-    in
-    let res = Revised.solve ?max_iterations ?bland_after ?basis prob in
-    (* Internal duals are for the minimized objective; convert to the
-       model's direction. *)
-    let sign = match t.dir with Minimize -> 1. | Maximize -> -1. in
-    let row_duals = Array.map (fun y -> sign *. y) res.Revised.duals in
-    let basis =
-      { b_nvars = t.nvars; b_nrows = t.nrows; rb = res.Revised.basis }
-    in
+  (* A warm basis is only meaningful for a model of identical shape: the
+     lowering maps variable [v] to column [v] and row [i]'s slack to
+     column [nvars + i], so (nvars, nrows) equality makes bases portable
+     across solves (and across freshly built models of the same shape). *)
+  let basis =
+    match warm_start with
+    | Some w when w.b_nvars = t.nvars && w.b_nrows = t.nrows -> Some w.rb
+    | _ -> None
+  in
+  let res = Revised.solve ?max_iterations ?deadline ?bland_after ?basis prob in
+  (* Internal duals are for the minimized objective; convert to the
+     model's direction. *)
+  let sign = match t.dir with Minimize -> 1. | Maximize -> -1. in
+  let row_duals = Array.map (fun y -> sign *. y) res.Revised.duals in
+  let basis = { b_nvars = t.nvars; b_nrows = t.nrows; rb = res.Revised.basis } in
+  let sol =
     finish_revised t ~row_duals ~basis res.Revised.x
       (map_status res.Revised.status)
       (Some res.Revised.stats)
+  in
+  (prob, res, sol)
+
+let solve_revised ?(presolve = false) ?max_iterations ?deadline ?bland_after
+    ?warm_start t =
+  if not presolve then begin
+    let _, _, sol = solve_raw ?max_iterations ?deadline ?bland_after ?warm_start t in
+    sol
   end
   else begin
+    let prob = to_problem t in
     let empty () = Array.make (t.nvars + t.nrows) 0. in
     match Presolve.apply prob with
     | Presolve.Infeasible_detected -> finish_revised t (empty ()) Infeasible None
@@ -202,7 +215,7 @@ let solve_revised ?(presolve = false) ?max_iterations ?bland_after ?warm_start t
           (* Everything was pinned by presolve; the point is feasible. *)
           finish_revised t (postsolve [||]) Optimal None
         else begin
-          let res = Revised.solve ?max_iterations reduced in
+          let res = Revised.solve ?max_iterations ?deadline reduced in
           finish_revised t
             (postsolve res.Revised.x)
             (map_status res.Revised.status)
@@ -215,7 +228,11 @@ let solve_revised ?(presolve = false) ?max_iterations ?bland_after ?warm_start t
    away: finite lower bounds by shifting, finite upper bounds by extra rows,
    free variables by splitting into a difference of non-negatives. *)
 
-let solve_dense t =
+let solve_dense ?max_pivots t =
+  (* The revised path validates inside [Revised.solve]; the dense lowering
+     bypasses it, so validate the lowered form here for the same guarantee
+     (descriptive rejection of NaN/inf data instead of a garbage tableau). *)
+  Problem.validate (to_problem t);
   let n = t.nvars in
   let lower = Array.make n 0. and upper = Array.make n 0. in
   List.iteri (fun k l -> lower.(t.nvars - 1 - k) <- l) t.lowers;
@@ -274,7 +291,7 @@ let solve_dense t =
   let res =
     Dense_simplex.solve
       ~maximize:(t.dir = Maximize)
-      ~obj
+      ?max_pivots ~obj
       ~constraints:(Array.of_list (List.rev !rows))
       ()
   in
@@ -283,27 +300,81 @@ let solve_dense t =
     | Dense_simplex.Optimal -> Optimal
     | Dense_simplex.Infeasible -> Infeasible
     | Dense_simplex.Unbounded -> Unbounded
+    | Dense_simplex.Iteration_limit -> Iteration_limit
   in
   let values = Array.make n 0. in
-  for v = 0 to n - 1 do
-    let x = res.Dense_simplex.x.(pos.(v)) in
-    let x = if neg.(v) >= 0 then x -. res.Dense_simplex.x.(neg.(v)) else x in
-    values.(v) <- x +. shift.(v)
-  done;
+  if status = Optimal then
+    for v = 0 to n - 1 do
+      let x = res.Dense_simplex.x.(pos.(v)) in
+      let x = if neg.(v) >= 0 then x -. res.Dense_simplex.x.(neg.(v)) else x in
+      values.(v) <- x +. shift.(v)
+    done;
   {
     status;
-    objective = res.Dense_simplex.objective +. !const;
+    objective = (if status = Optimal then res.Dense_simplex.objective +. !const else 0.);
     values;
     stats = None;
     row_duals = None;
     basis = None;
   }
 
-let solve ?(solver = `Revised) ?presolve ?max_iterations ?bland_after
+let solve ?(solver = `Revised) ?presolve ?max_iterations ?deadline ?bland_after
     ?warm_start t =
   match solver with
-  | `Revised -> solve_revised ?presolve ?max_iterations ?bland_after ?warm_start t
+  | `Revised ->
+      solve_revised ?presolve ?max_iterations ?deadline ?bland_after
+        ?warm_start t
   | `Dense -> solve_dense t
+
+(* ---- certified solves ---- *)
+
+let solve_certified ?max_iterations ?deadline ?bland_after ?warm_start t =
+  let prob, res, sol = solve_raw ?max_iterations ?deadline ?bland_after ?warm_start t in
+  let report =
+    match res.Revised.status with
+    | Revised.Optimal ->
+        (* Certify in the lowered (minimization) form: the full primal
+           vector including slacks against the raw internal duals. *)
+        Certify.certify_optimal prob ~x:res.Revised.x ~duals:res.Revised.duals
+    | Revised.Infeasible -> (
+        match res.Revised.farkas with
+        | Some farkas -> Certify.certify_infeasible prob ~farkas
+        | None -> Certify.reject "infeasible claim carries no certificate")
+    | Revised.Unbounded -> (
+        match res.Revised.ray with
+        | Some ray -> Certify.certify_unbounded ~x:res.Revised.x prob ~ray
+        | None -> Certify.reject "unbounded claim carries no certificate")
+    | Revised.Iteration_limit ->
+        Certify.reject "iteration/time budget exhausted before optimality"
+  in
+  (sol, report)
+
+let solve_dense_certified ?max_pivots t =
+  let sol = solve_dense ?max_pivots t in
+  let report =
+    match sol.status with
+    | Optimal ->
+        let prob = to_problem t in
+        (* The dense lowering discards duals, so only primal feasibility is
+           independently checkable.  Reconstruct the slack block: row [i]'s
+           slack is its residual [rhs_i - (A x)_i]. *)
+        let full = Array.make (t.nvars + t.nrows) 0. in
+        Array.blit sol.values 0 full 0 t.nvars;
+        List.iteri
+          (fun i r ->
+            let act =
+              List.fold_left
+                (fun acc (c, v) -> acc +. (c *. sol.values.(v)))
+                0. r.terms
+            in
+            full.(t.nvars + i) <- r.rhs -. act)
+          (List.rev t.rows);
+        Certify.certify_feasible prob ~x:full
+    | Infeasible -> Certify.reject "dense solver reported infeasible (no certificate)"
+    | Unbounded -> Certify.reject "dense solver reported unbounded (no certificate)"
+    | Iteration_limit -> Certify.reject "dense pivot budget exhausted"
+  in
+  (sol, report)
 
 let pp_solution t ppf sol =
   let status_str =

@@ -79,10 +79,18 @@ val iter_constraints :
   t -> (name:string -> (float * var) list -> sense -> float -> unit) -> unit
 (** Visit the constraints in insertion order (used by {!Lp_format}). *)
 
+val to_problem : t -> Problem.t
+(** The model lowered to computational standard form: variable [v] maps to
+    column [v], and constraint [i] (insertion order) owns slack column
+    [n_vars + i].  This is exactly the problem {!solve} hands to the
+    revised solver, so external checkers ({!Certify}) can re-verify a
+    solution against it. *)
+
 val solve :
   ?solver:[ `Revised | `Dense ] ->
   ?presolve:bool ->
   ?max_iterations:int ->
+  ?deadline:float ->
   ?bland_after:int ->
   ?warm_start:basis ->
   t ->
@@ -90,10 +98,34 @@ val solve :
 (** Optimize the model.  The model itself is not modified and may be solved
     again (e.g. after adding constraints).  [presolve] (default [false],
     revised solver only) applies {!Presolve} reductions first and maps the
-    solution back.  [warm_start] feeds a previous solution's basis token
-    back to the revised solver; it is ignored when the shapes differ, when
-    presolve is on, or with the dense solver.  [bland_after] tunes the
+    solution back.  [deadline] is a wall-clock budget in seconds for the
+    revised solver (best effort; exceeded budgets yield
+    [Iteration_limit]).  [warm_start] feeds a previous solution's basis
+    token back to the revised solver; it is ignored when the shapes differ,
+    when presolve is on, or with the dense solver.  [bland_after] tunes the
     degeneracy threshold for the Bland's-rule fallback (tests only). *)
+
+val solve_certified :
+  ?max_iterations:int ->
+  ?deadline:float ->
+  ?bland_after:int ->
+  ?warm_start:basis ->
+  t ->
+  solution * Certify.report
+(** Solve with the revised simplex (no presolve) and independently re-check
+    the claim with {!Certify} against the lowered problem data: an optimal
+    pair is checked for primal/dual feasibility and duality gap, an
+    infeasible claim for a valid Farkas certificate, an unbounded claim for
+    a valid improving ray.  [Iteration_limit] results are always rejected
+    (nothing to certify).  The report says whether the solution deserves
+    trust; the solution itself is the same one {!solve} would return. *)
+
+val solve_dense_certified : ?max_pivots:int -> t -> solution * Certify.report
+(** Solve with the dense reference tableau and certify what it can claim:
+    the dense lowering carries no duals, so an [Optimal] result is checked
+    for primal feasibility only (bounds and constraint residuals of the
+    reconstructed full solution).  Non-optimal dense statuses are rejected
+    as uncertified.  [max_pivots] caps total pivots (tests). *)
 
 val value : solution -> var -> float
 (** Value of a variable in a solution (0. unless [status = Optimal]). *)

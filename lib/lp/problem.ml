@@ -9,8 +9,9 @@ type t = {
   basis_hint : int array option;
 }
 
-let validate t =
+let validate ?(strict = false) t =
   let check c msg = if not c then invalid_arg ("Problem: " ^ msg) in
+  let checkf c fmt = Printf.ksprintf (check c) fmt in
   check (t.nrows >= 0 && t.ncols >= 0) "negative dimensions";
   check (Array.length t.cols = t.ncols) "cols length";
   check (Array.length t.obj = t.ncols) "obj length";
@@ -20,16 +21,37 @@ let validate t =
   Array.iteri
     (fun j col ->
       Sparse_vec.iter
-        (fun i _ ->
+        (fun i a ->
           if i >= t.nrows then
             invalid_arg
               (Printf.sprintf "Problem: column %d has row index %d >= nrows %d"
-                 j i t.nrows))
-        col)
+                 j i t.nrows);
+          if not (Float.is_finite a) then
+            invalid_arg
+              (Printf.sprintf
+                 "Problem: column %d has non-finite coefficient %g at row %d" j
+                 a i))
+        col;
+      if strict && Sparse_vec.nnz col = 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Problem: column %d is empty (appears in no constraint)" j))
     t.cols;
   for j = 0 to t.ncols - 1 do
-    check (t.lower.(j) <= t.upper.(j)) "lower > upper";
-    check (not (Float.is_nan t.lower.(j) || Float.is_nan t.upper.(j))) "NaN bound"
+    checkf
+      (not (Float.is_nan t.lower.(j) || Float.is_nan t.upper.(j)))
+      "NaN bound on column %d" j;
+    checkf
+      (t.lower.(j) <= t.upper.(j))
+      "column %d has lower bound %g > upper bound %g" j t.lower.(j) t.upper.(j);
+    checkf (t.lower.(j) < infinity) "column %d has lower bound +inf" j;
+    checkf (t.upper.(j) > neg_infinity) "column %d has upper bound -inf" j;
+    checkf (Float.is_finite t.obj.(j))
+      "column %d has non-finite objective coefficient %g" j t.obj.(j)
+  done;
+  for i = 0 to t.nrows - 1 do
+    checkf (Float.is_finite t.rhs.(i)) "row %d has non-finite rhs %g" i
+      t.rhs.(i)
   done;
   match t.basis_hint with
   | None -> ()

@@ -18,10 +18,18 @@ type t = {
           identity basis.  [-1] entries mean "no hint for this row". *)
 }
 
-val validate : t -> unit
-(** Check structural invariants (array lengths, column heights, bound order,
-    hint columns are unit vectors).
-    @raise Invalid_argument when an invariant is violated. *)
+val validate : ?strict:bool -> t -> unit
+(** Check structural invariants (array lengths, column heights, bound
+    order, hint columns are unit vectors) and numerical sanity: every
+    matrix coefficient, objective coefficient and rhs entry must be
+    finite, bounds must not be NaN, no [lower > upper], no [lower = +inf]
+    or [upper = -inf].  With [strict] (default [false]), additionally
+    reject empty columns — variables appearing in no constraint are legal
+    LP-wise (and are handled by {!Presolve} and both solvers) but are
+    almost always a modelling bug in the planning LPs, so the robust
+    planning pipeline opts in.
+    @raise Invalid_argument with a descriptive message when an invariant
+    is violated. *)
 
 val nnz : t -> int
 (** Total non-zeros in the constraint matrix. *)

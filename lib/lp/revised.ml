@@ -10,6 +10,8 @@ type stats = {
   refactorizations : int;
   degenerate_pivots : int;
   bound_flips : int;
+  drift_refactorizations : int;
+  growth_refactorizations : int;
 }
 
 type basis = { vars : int array; at_upper : bool array }
@@ -21,6 +23,8 @@ type result = {
   duals : float array;
   basis : basis;
   stats : stats;
+  farkas : float array option;
+  ray : float array option;
 }
 
 let pp_status ppf = function
@@ -53,6 +57,8 @@ type state = {
   mutable lu : Lu.t;
   mutable etas : eta array;  (* oldest first; only [0, n_etas) valid *)
   mutable n_etas : int;
+  mutable eta_nnz : int;  (* total off-pivot entries across live etas *)
+  mutable lu_fill : int;  (* fill of the current factorization *)
   (* -- pricing state -- *)
   banned : Bytes.t;  (* bitset over columns: 1 = skip in pricing *)
   weight : float array;  (* Devex-style reference weights *)
@@ -70,10 +76,16 @@ type state = {
   mutable iterations : int;
   mutable phase1_iterations : int;
   mutable refactorizations : int;
+  mutable drift_refactorizations : int;
+  mutable growth_refactorizations : int;
   mutable degenerate_pivots : int;
   mutable bound_flips : int;
   mutable consecutive_degenerate : int;
   mutable bland : bool;
+  mutable pivots_since_drift_check : int;
+  mutable loop_ticks : int;  (* loop entries, for the deadline check *)
+  mutable last_ray : float array option;  (* set when Unbounded is declared *)
+  deadline_at : float;  (* absolute wall-clock limit, [infinity] if none *)
   feas_tol : float;
   opt_tol : float;
   refactor_interval : int;
@@ -127,12 +139,15 @@ let push_eta st e =
     st.etas <- bigger
   end;
   st.etas.(st.n_etas) <- e;
-  st.n_etas <- st.n_etas + 1
+  st.n_etas <- st.n_etas + 1;
+  st.eta_nnz <- st.eta_nnz + Array.length e.rows
 
 let refactorize st =
   let basis_cols = Array.map (fun j -> st.cols.(j)) st.basis in
   st.lu <- Lu.factor ~dim:st.m basis_cols;
   st.n_etas <- 0;
+  st.eta_nnz <- 0;
+  st.lu_fill <- Lu.fill_nnz st.lu;
   st.refactorizations <- st.refactorizations + 1;
   (* Invalidate pricing caches: the fresh factorization purges drift, so
      reduced costs are recomputed from scratch on the next pricing call. *)
@@ -439,7 +454,69 @@ let apply_pivot st q dir w slot t to_upper =
     Log.debug (fun f -> f "switching to Bland's rule after degeneracy");
     st.bland <- true
   end;
+  st.pivots_since_drift_check <- st.pivots_since_drift_check + 1;
   if st.n_etas >= st.refactor_interval then refactorize st
+  else if st.n_etas >= 16 && st.eta_nnz > 4 * (st.lu_fill + st.m) then begin
+    (* Eta-file growth: the product-form updates have accumulated more
+       fill than a fresh factorization would carry, so solves are both
+       slower and numerically staler than a refactorization.  Fold them
+       in early rather than waiting for the fixed interval. *)
+    st.growth_refactorizations <- st.growth_refactorizations + 1;
+    refactorize st
+  end
+
+(* How often (in pivots) the FTRAN result is verified against the basis
+   columns, and the scaled residual above which the eta file is declared
+   drifted.  A fresh LU keeps residuals near machine epsilon; a checked
+   residual above [drift_tol] means the product-form updates have decayed
+   enough to threaten the ratio test, so we refactorize and redo the
+   FTRAN before committing the pivot. *)
+let drift_check_interval = 25
+
+let drift_tol = 1e-7
+
+(* FTRAN of column [q] with periodic numerical self-checking: every
+   [drift_check_interval] pivots (while etas are live) the result [w] is
+   verified directly against the problem data via ‖B w - a_q‖∞; on a
+   residual spike the basis is refactorized — which also recomputes the
+   basic values from scratch — and the FTRAN is retried on fresh
+   factors. *)
+let ftran_checked st q =
+  let spread st q =
+    let aq = Array.make st.m 0. in
+    Sparse_vec.iter (fun i x -> aq.(i) <- x) st.cols.(q);
+    aq
+  in
+  let w = ftran st (spread st q) in
+  if st.n_etas > 0 && st.pivots_since_drift_check >= drift_check_interval
+  then begin
+    st.pivots_since_drift_check <- 0;
+    let r = Array.make st.m 0. in
+    for s = 0 to st.m - 1 do
+      if w.(s) <> 0. then Sparse_vec.axpy_dense w.(s) st.cols.(st.basis.(s)) r
+    done;
+    Sparse_vec.iter (fun i x -> r.(i) <- r.(i) -. x) st.cols.(q);
+    let worst =
+      Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0. r
+    in
+    if worst > drift_tol *. (1. +. Sparse_vec.max_abs st.cols.(q)) then begin
+      Log.debug (fun f ->
+          f "FTRAN residual %.3g after %d etas: refactorizing" worst st.n_etas);
+      st.drift_refactorizations <- st.drift_refactorizations + 1;
+      refactorize st;
+      ftran st (spread st q)
+    end
+    else w
+  end
+  else w
+
+let past_deadline st =
+  st.loop_ticks <- st.loop_ticks + 1;
+  st.deadline_at < infinity
+  (* Check on the very first entry (an already-expired deadline must stop
+     even a tiny solve) and every 32 ticks thereafter. *)
+  && (st.loop_ticks = 1 || st.loop_ticks land 31 = 0)
+  && Unix.gettimeofday () >= st.deadline_at
 
 (* Run the simplex loop with objective [c] until optimality or trouble.
    [phase1] only affects iteration bookkeeping. *)
@@ -454,14 +531,12 @@ let optimize st c ~phase1 ~max_iterations =
     banned_list := []
   in
   let rec loop () =
-    if st.iterations >= max_iterations then Iteration_limit
+    if st.iterations >= max_iterations || past_deadline st then Iteration_limit
     else
       match price st c with
       | None -> Optimal
       | Some (q, dir) -> (
-          let aq = Array.make st.m 0. in
-          Sparse_vec.iter (fun i x -> aq.(i) <- x) st.cols.(q);
-          let w = ftran st aq in
+          let w = ftran_checked st q in
           (* One dense pass records the nonzero pattern; the ratio test,
              bound flips, pivot application and eta extraction all iterate
              the (typically short) pattern instead of all [m] slots. *)
@@ -473,7 +548,21 @@ let optimize st c ~phase1 ~max_iterations =
             end
           done;
           match ratio_test st q dir w with
-          | Ray -> if phase1 then Optimal (* cannot happen; be safe *) else Unbounded
+          | Ray ->
+              if phase1 then Optimal (* cannot happen; be safe *)
+              else begin
+                (* Record the improving direction as a checkable
+                   certificate: the entering column moves by [dir], the
+                   basic variables compensate along the FTRAN column. *)
+                let ray = Array.make st.ntot 0. in
+                ray.(q) <- dir;
+                for p = 0 to st.n_wnz - 1 do
+                  let s = st.wnz.(p) in
+                  ray.(st.basis.(s)) <- -.dir *. w.(s)
+                done;
+                st.last_ray <- Some ray;
+                Unbounded
+              end
           | Flip ->
               st.iterations <- st.iterations + 1;
               if phase1 then st.phase1_iterations <- st.phase1_iterations + 1;
@@ -509,9 +598,10 @@ let optimize st c ~phase1 ~max_iterations =
 
 exception Warm_start_failed
 
-let make_state ?(bland_after = 2000) ~feas_tol ~opt_tol ~refactor_interval prob
-    basis where xval at_upper lower upper cols ntot =
+let make_state ?(bland_after = 2000) ~feas_tol ~opt_tol ~refactor_interval
+    ~deadline_at prob basis where xval at_upper lower upper cols ntot =
   let m = prob.Problem.nrows in
+  let lu = Lu.factor ~dim:m (Array.map (fun j -> cols.(j)) basis) in
   {
     prob;
     m;
@@ -523,9 +613,11 @@ let make_state ?(bland_after = 2000) ~feas_tol ~opt_tol ~refactor_interval prob
     basis;
     where;
     at_upper;
-    lu = Lu.factor ~dim:m (Array.map (fun j -> cols.(j)) basis);
+    lu;
     etas = Array.make 16 dummy_eta;
     n_etas = 0;
+    eta_nnz = 0;
+    lu_fill = Lu.fill_nnz lu;
     banned = Bytes.make ntot '\000';
     weight = Array.make ntot 1.;
     dj = Array.make ntot 0.;
@@ -541,22 +633,34 @@ let make_state ?(bland_after = 2000) ~feas_tol ~opt_tol ~refactor_interval prob
     iterations = 0;
     phase1_iterations = 0;
     refactorizations = 0;
+    drift_refactorizations = 0;
+    growth_refactorizations = 0;
     degenerate_pivots = 0;
     bound_flips = 0;
     consecutive_degenerate = 0;
     bland = false;
+    pivots_since_drift_check = 0;
+    loop_ticks = 0;
+    last_ray = None;
+    deadline_at;
     feas_tol;
     opt_tol;
     refactor_interval;
     bland_after;
   }
 
-let solve ?(max_iterations = 200_000) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7)
-    ?(refactor_interval = 128) ?(bland_after = 2000) ?basis:warm prob =
+let solve ?(max_iterations = 200_000) ?deadline ?(feas_tol = 1e-7)
+    ?(opt_tol = 1e-7) ?(refactor_interval = 128) ?(bland_after = 2000)
+    ?basis:warm prob =
   Problem.validate prob;
+  let deadline_at =
+    match deadline with
+    | None -> infinity
+    | Some d -> Unix.gettimeofday () +. Float.max 0. d
+  in
   let m = prob.Problem.nrows and n = prob.Problem.ncols in
   let ntot = n + m in
-  let finish st status =
+  let finish ?farkas st status =
     let x = Array.sub st.xval 0 n in
     let objective = Problem.objective_value prob x in
     let duals =
@@ -569,6 +673,11 @@ let solve ?(max_iterations = 200_000) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7)
         at_upper = Array.sub st.at_upper 0 n;
       }
     in
+    let ray =
+      match status with
+      | Unbounded -> Option.map (fun r -> Array.sub r 0 n) st.last_ray
+      | _ -> None
+    in
     {
       status;
       x;
@@ -580,9 +689,13 @@ let solve ?(max_iterations = 200_000) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7)
           iterations = st.iterations;
           phase1_iterations = st.phase1_iterations;
           refactorizations = st.refactorizations;
+          drift_refactorizations = st.drift_refactorizations;
+          growth_refactorizations = st.growth_refactorizations;
           degenerate_pivots = st.degenerate_pivots;
           bound_flips = st.bound_flips;
         };
+      farkas = (if status = Infeasible then farkas else None);
+      ray;
     }
   in
   let phase2 st =
@@ -666,8 +779,8 @@ let solve ?(max_iterations = 200_000) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7)
     done;
     Array.iteri (fun slot j -> where.(j) <- slot) basis;
     let st =
-      make_state ~bland_after ~feas_tol ~opt_tol ~refactor_interval prob basis
-        where xval at_upper lower upper cols ntot
+      make_state ~bland_after ~feas_tol ~opt_tol ~refactor_interval
+        ~deadline_at prob basis where xval at_upper lower upper cols ntot
     in
     if not !need_phase1 then phase2 st
     else begin
@@ -687,8 +800,14 @@ let solve ?(max_iterations = 200_000) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7)
           for i = 0 to m - 1 do
             infeas := !infeas +. Float.abs st.xval.(n + i)
           done;
-          if !infeas > Float.max 1e-6 (st.feas_tol *. float_of_int m) then
-            finish st Infeasible
+          if !infeas > Float.max 1e-6 (st.feas_tol *. float_of_int m) then begin
+            (* The phase-1 duals are a Farkas certificate: at the phase-1
+               optimum every problem column's reduced cost [-y'a_j] prices
+               out against its bound, so [y'b - sup y'Ax] equals the
+               residual infeasibility, which is positive. *)
+            let farkas = btran st (Array.map (fun j -> c1.(j)) st.basis) in
+            finish ~farkas st Infeasible
+          end
           else begin
             (* Pin all artificials to zero and re-optimize the true cost. *)
             for i = 0 to m - 1 do
@@ -733,8 +852,8 @@ let solve ?(max_iterations = 200_000) ?(feas_tol = 1e-7) ?(opt_tol = 1e-7)
     done;
     let st =
       try
-        make_state ~bland_after ~feas_tol ~opt_tol ~refactor_interval prob
-          basis where xval at_upper lower upper cols ntot
+        make_state ~bland_after ~feas_tol ~opt_tol ~refactor_interval
+          ~deadline_at prob basis where xval at_upper lower upper cols ntot
       with Lu.Singular _ -> raise Warm_start_failed
     in
     (* Basic values implied by the nonbasic point. *)

@@ -29,6 +29,11 @@ type stats = {
   refactorizations : int;
   degenerate_pivots : int;
   bound_flips : int;
+  drift_refactorizations : int;
+      (** refactorizations forced by an FTRAN residual spike (the factorized
+          basis no longer reproduces the entering column to tolerance) *)
+  growth_refactorizations : int;
+      (** refactorizations forced by eta-file growth outpacing the LU fill *)
 }
 
 type basis = {
@@ -52,10 +57,17 @@ type result = {
       (** row dual values [y] with [B^T y = c_B] at the final basis *)
   basis : basis;  (** final basis, for warm-starting a related solve *)
   stats : stats;
+  farkas : float array option;
+      (** when [status = Infeasible]: a Farkas-style certificate [y]
+          (length [nrows]) checkable with {!Certify.certify_infeasible} *)
+  ray : float array option;
+      (** when [status = Unbounded]: an improving direction [d] (length
+          [ncols]) checkable with {!Certify.certify_unbounded} *)
 }
 
 val solve :
   ?max_iterations:int ->
+  ?deadline:float ->
   ?feas_tol:float ->
   ?opt_tol:float ->
   ?refactor_interval:int ->
@@ -67,8 +79,12 @@ val solve :
     [feas_tol = 1e-7], [opt_tol = 1e-7], [refactor_interval = 128],
     [bland_after = 2000] (consecutive degenerate pivots tolerated before
     switching to Bland's rule; lower it only to exercise the fallback in
-    tests).  [basis] supplies a warm-start basis from a previous solve; it
-    is ignored (cold start) when structurally incompatible, and abandoned
-    transparently when singular or unrepairable. *)
+    tests).  [deadline] is a wall-clock budget in seconds: once exceeded
+    the solve stops at the next pivot boundary with
+    [status = Iteration_limit] (best effort — the check is amortized, so a
+    slow pivot can overrun slightly).  [basis] supplies a warm-start basis
+    from a previous solve; it is ignored (cold start) when structurally
+    incompatible, and abandoned transparently when singular or
+    unrepairable. *)
 
 val pp_status : Format.formatter -> status -> unit

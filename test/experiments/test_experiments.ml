@@ -78,6 +78,26 @@ let test_naive_anchor_positive () =
   Alcotest.(check bool) "anchor cost positive" true
     (Experiments.Planner_eval.naive_k_cost s > 0.)
 
+let test_crippled_lp_still_measures () =
+  (* With the LP stages starved ([lp_iterations:0]) the planners fall back
+     to greedy (see {!Prospector.Robust_plan}); the evaluation glue must
+     still return a sane measured point rather than crash. *)
+  let s =
+    Experiments.Setup.uniform_gaussian ~seed:8 ~n:20 ~k:4 ~n_samples:6
+      ~n_test:3 ()
+  in
+  let check_point name (p : Prospector.Evaluate.point) =
+    Alcotest.(check bool) (name ^ ": accuracy in range") true
+      (p.Prospector.Evaluate.accuracy >= 0.
+      && p.Prospector.Evaluate.accuracy <= 1.);
+    Alcotest.(check bool) (name ^ ": cost finite") true
+      (Float.is_finite (Prospector.Evaluate.total_per_run_mj p))
+  in
+  check_point "lp_lf"
+    (Experiments.Planner_eval.lp_lf ~lp_iterations:0 s ~budget:30.);
+  check_point "lp_no_lf"
+    (Experiments.Planner_eval.lp_no_lf ~lp_iterations:0 s ~budget:30.)
+
 let test_replan_samples_swaps () =
   let s =
     Experiments.Setup.uniform_gaussian ~seed:6 ~n:15 ~k:3 ~n_samples:9
@@ -112,5 +132,7 @@ let () =
           Alcotest.test_case "partial accuracy" `Quick test_partial_accuracy;
           Alcotest.test_case "naive anchor" `Quick test_naive_anchor_positive;
           Alcotest.test_case "replan samples" `Quick test_replan_samples_swaps;
+          Alcotest.test_case "crippled lp still measures" `Quick
+            test_crippled_lp_still_measures;
         ] );
     ]

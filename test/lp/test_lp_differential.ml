@@ -107,6 +107,7 @@ let dense_status_name = function
   | Lp.Dense_simplex.Optimal -> "optimal"
   | Lp.Dense_simplex.Infeasible -> "infeasible"
   | Lp.Dense_simplex.Unbounded -> "unbounded"
+  | Lp.Dense_simplex.Iteration_limit -> "iteration-limit"
 
 let close a b = Float.abs (a -. b) <= 1e-6 *. (1. +. Float.max (Float.abs a) (Float.abs b))
 
