@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test stress bench bench-quick bench-json bench-certify \
-	examples clean
+	bench-telemetry gate examples clean
 
 all: build
 
@@ -34,6 +34,24 @@ bench-json:
 # counters, fallback probe); writes BENCH_PR3.json at the repo root.
 bench-certify:
 	dune exec bench/main.exe -- certify
+
+# Telemetry record: LP solve-time histogram percentiles, per-epoch
+# energy/traffic from a lossy simulated collection, and the telemetry
+# overhead probe.  Writes BENCH_PR4.json plus the raw trace
+# (OBS_TRACE.jsonl / OBS_TRACE.csv) at the repo root.
+bench-telemetry:
+	dune exec bench/main.exe -- telemetry
+
+# Perf-regression gate: regenerate both perf records into _gate_fresh_*
+# scratch files (never over the committed baselines) and compare each
+# against its committed BENCH_PR<n>.json within the gate's tolerances.
+# The comparator self-test runs first so a broken gate can't pass anything.
+gate:
+	dune exec tools/bench_gate.exe -- --self-test
+	dune exec bench/main.exe -- --json _gate_fresh_pr1.json
+	dune exec bench/main.exe -- certify --out _gate_fresh_pr3.json
+	dune exec tools/bench_gate.exe -- BENCH_PR1.json _gate_fresh_pr1.json
+	dune exec tools/bench_gate.exe -- BENCH_PR3.json _gate_fresh_pr3.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -8,6 +8,12 @@ type t = {
 
 type decision = Kept | Disseminated of Plan.t
 
+let m_considered = Obs.Metrics.counter "replan.considered"
+let m_warm_hits = Obs.Metrics.counter "replan.warm_hits"
+let m_warm_misses = Obs.Metrics.counter "replan.warm_misses"
+let m_disseminated = Obs.Metrics.counter "replan.disseminated"
+let m_kept = Obs.Metrics.counter "replan.kept"
+
 let create ?(min_gain = 0.05) ?(amortization_runs = 50) ~initial () =
   if min_gain < 0. then invalid_arg "Replan.create: negative min_gain";
   if amortization_runs < 1 then
@@ -38,6 +44,8 @@ let consider ?max_lp_iterations ?lp_deadline t topo cost mica samples ~k
   (* Successive epochs re-solve nearly identical LPs: reuse the previous
      epoch's final basis.  When the sample window changes the LP's shape the
      token is silently ignored and the solve starts cold. *)
+  Obs.Metrics.incr m_considered;
+  Obs.Metrics.incr (if t.warm <> None then m_warm_hits else m_warm_misses);
   let r =
     Lp_lf.plan ?warm_start:t.warm ?max_lp_iterations ?lp_deadline topo cost
       samples ~budget ~k
@@ -45,10 +53,12 @@ let consider ?max_lp_iterations ?lp_deadline t topo cost mica samples ~k
   (* A fallback result carries no basis; keep the previous token so the
      next epoch can still warm-start from the last certified solve. *)
   (match r.Lp_lf.basis with Some _ -> t.warm <- r.Lp_lf.basis | None -> ());
-  if r.Lp_lf.provenance = Robust_plan.Fell_back_greedy then
+  if r.Lp_lf.provenance = Robust_plan.Fell_back_greedy then begin
     (* Never disseminate an uncertified candidate: the greedy fallback is a
        safety net for answering queries, not a plan worth an install. *)
+    Obs.Metrics.incr m_kept;
     Kept
+  end
   else begin
   let candidate = r.Lp_lf.plan in
   let incumbent_score = expected_accuracy topo cost t.plan ~k samples in
@@ -65,7 +75,11 @@ let consider ?max_lp_iterations ?lp_deadline t topo cost mica samples ~k
   if gain >= t.min_gain +. install_penalty then begin
     t.plan <- candidate;
     t.replans <- t.replans + 1;
+    Obs.Metrics.incr m_disseminated;
     Disseminated candidate
   end
-  else Kept
+  else begin
+    Obs.Metrics.incr m_kept;
+    Kept
+  end
   end

@@ -4,6 +4,14 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type provenance = Certified_revised | Certified_dense | Fell_back_greedy
 
+(* Provenance tally across every solve in a run: how often the fast path
+   sufficed, how often the dense reference had to rescue it, and how often
+   the whole chain failed (the planner's greedy fallback is counted at its
+   use site in [Lp_lf]). *)
+let m_certified_revised = Obs.Metrics.counter "planner.certified_revised"
+let m_certified_dense = Obs.Metrics.counter "planner.certified_dense"
+let m_chain_failures = Obs.Metrics.counter "planner.chain_failures"
+
 type lp_result = {
   solution : Lp.Model.solution;
   report : Lp.Certify.report;
@@ -22,6 +30,7 @@ let solve ?warm_start ?max_iterations ?deadline model =
   if report.Lp.Certify.certified then
     match sol.Lp.Model.status with
     | Lp.Model.Optimal ->
+        Obs.Metrics.incr m_certified_revised;
         Ok { solution = sol; report; provenance = Certified_revised }
     | Lp.Model.Infeasible -> Error (Proved_infeasible report)
     | Lp.Model.Unbounded -> Error (Proved_unbounded report)
@@ -36,12 +45,15 @@ let solve ?warm_start ?max_iterations ?deadline model =
     let dsol, dreport =
       Lp.Model.solve_dense_certified ?max_pivots:max_iterations model
     in
-    if dreport.Lp.Certify.certified then
+    if dreport.Lp.Certify.certified then begin
+      Obs.Metrics.incr m_certified_dense;
       Ok { solution = dsol; report = dreport; provenance = Certified_dense }
+    end
     else begin
       Log.warn (fun m ->
           m "dense solve not certified either (%s); planner must fall back"
             (String.concat "; " dreport.Lp.Certify.reasons));
+      Obs.Metrics.incr m_chain_failures;
       Error
         (No_certified_solution
            (revised_reasons @ dreport.Lp.Certify.reasons))

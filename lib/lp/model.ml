@@ -23,6 +23,13 @@ type t = {
 
 type basis = { b_nvars : int; b_nrows : int; rb : Revised.basis }
 
+let m_warm_supplied = Obs.Metrics.counter "lp.model.warm_supplied"
+let m_warm_used = Obs.Metrics.counter "lp.model.warm_used"
+let m_warm_shape_mismatch = Obs.Metrics.counter "lp.model.warm_shape_mismatch"
+let m_certified = Obs.Metrics.counter "lp.model.certified"
+let m_cert_rejected = Obs.Metrics.counter "lp.model.certify_rejected"
+let t_certify = Obs.Metrics.timer "lp.model.certify_s"
+
 type solution = {
   status : status;
   objective : float;
@@ -182,8 +189,15 @@ let solve_raw ?max_iterations ?deadline ?bland_after ?warm_start t =
      across solves (and across freshly built models of the same shape). *)
   let basis =
     match warm_start with
-    | Some w when w.b_nvars = t.nvars && w.b_nrows = t.nrows -> Some w.rb
-    | _ -> None
+    | Some w when w.b_nvars = t.nvars && w.b_nrows = t.nrows ->
+        Obs.Metrics.incr m_warm_supplied;
+        Obs.Metrics.incr m_warm_used;
+        Some w.rb
+    | Some _ ->
+        Obs.Metrics.incr m_warm_supplied;
+        Obs.Metrics.incr m_warm_shape_mismatch;
+        None
+    | None -> None
   in
   let res = Revised.solve ?max_iterations ?deadline ?bland_after ?basis prob in
   (* Internal duals are for the minimized objective; convert to the
@@ -330,6 +344,10 @@ let solve ?(solver = `Revised) ?presolve ?max_iterations ?deadline ?bland_after
 
 let solve_certified ?max_iterations ?deadline ?bland_after ?warm_start t =
   let prob, res, sol = solve_raw ?max_iterations ?deadline ?bland_after ?warm_start t in
+  let certify_t0 =
+    if Obs.Metrics.enabled () || Obs.Trace.active () then Obs.Trace.now ()
+    else 0.
+  in
   let report =
     match res.Revised.status with
     | Revised.Optimal ->
@@ -347,6 +365,19 @@ let solve_certified ?max_iterations ?deadline ?bland_after ?warm_start t =
     | Revised.Iteration_limit ->
         Certify.reject "iteration/time budget exhausted before optimality"
   in
+  if Obs.Metrics.enabled () || Obs.Trace.active () then begin
+    let dur = Obs.Trace.now () -. certify_t0 in
+    Obs.Metrics.incr m_certified;
+    if not report.Certify.certified then Obs.Metrics.incr m_cert_rejected;
+    Obs.Metrics.record_s t_certify dur;
+    Obs.Trace.emit Obs.Trace.Certify ~name:"lp.model" ~start_s:certify_t0
+      ~dur_s:dur
+      [
+        ("certified", Obs.Trace.Bool report.Certify.certified);
+        ("primal_residual", Obs.Trace.Float report.Certify.primal_residual);
+        ("duality_gap", Obs.Trace.Float report.Certify.duality_gap);
+      ]
+  end;
   (sol, report)
 
 let solve_dense_certified ?max_pivots t =

@@ -1,0 +1,147 @@
+(* Performance-regression gate over BENCH_*.json records.
+
+   Both files are flattened to dotted numeric paths; the gated keys —
+   solve-time and iteration-count leaves — must agree within a relative
+   tolerance, two-sided: a fresh value far {e below} the baseline also
+   fails, because the committed baseline is the enforced trajectory and a
+   large improvement means it must be refreshed (rerun the bench and
+   commit the new record), not silently outrun.
+
+   Timing keys whose values sit under [min_ms] on both sides are skipped:
+   sub-millisecond measurements are noise-dominated and would make the
+   gate flap.  Deterministic keys (iteration counts) get a small absolute
+   slack instead, covering legitimate zero baselines (a perfect warm
+   start re-solves in 0 iterations). *)
+
+type key_class = Time_ms | Iterations
+
+type outcome = {
+  path : string;
+  cls : key_class;
+  baseline : float;
+  fresh : float;
+  ok : bool;
+  skipped : bool; (* under the noise floor; reported but never failing *)
+}
+
+type verdict = {
+  outcomes : outcome list;
+  missing : string list; (* gated paths present in baseline, absent fresh *)
+  pass : bool;
+}
+
+(* ---- flattening ---- *)
+
+let flatten json =
+  let rec go prefix acc = function
+    | Json.Num x -> (prefix, x) :: acc
+    | Json.Obj kvs ->
+        List.fold_left
+          (fun acc (k, v) ->
+            let p = if prefix = "" then k else prefix ^ "." ^ k in
+            go p acc v)
+          acc kvs
+    | Json.List xs ->
+        List.fold_left
+          (fun (acc, i) v ->
+            (go (Printf.sprintf "%s[%d]" prefix i) acc v, i + 1))
+          (acc, 0) xs
+        |> fst
+    | Json.Null | Json.Bool _ | Json.Str _ -> acc
+  in
+  List.rev (go "" [] json)
+
+(* The gated keys, by final path segment.  [pr1_seed_baseline] is a frozen
+   historical block re-embedded verbatim in every record: comparing it
+   would always pass and only add noise to reports, so it is excluded. *)
+let classify path =
+  if String.length path >= 17 && String.sub path 0 17 = "pr1_seed_baseline"
+  then None
+  else
+    let last =
+      match String.rindex_opt path '.' with
+      | None -> path
+      | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+    in
+    match last with
+    | "ms_per_solve" | "solve_ms" | "cold_ms" | "warm_ms" -> Some Time_ms
+    | _ ->
+        let n = String.length last in
+        if
+          last = "iterations"
+          || (n > 11 && String.sub last (n - 11) 11 = "_iterations")
+        then Some Iterations
+        else None
+
+(* ---- comparison ---- *)
+
+let default_tolerance = 0.30
+
+let default_min_ms = 1.0
+
+let default_iter_slack = 2.
+
+let compare_values ?(tolerance = default_tolerance) ?(min_ms = default_min_ms)
+    ?(iter_slack = default_iter_slack) ~baseline ~fresh () =
+  let base_leaves = flatten baseline and fresh_leaves = flatten fresh in
+  let outcomes = ref [] and missing = ref [] in
+  List.iter
+    (fun (path, b) ->
+      match classify path with
+      | None -> ()
+      | Some cls -> (
+          match List.assoc_opt path fresh_leaves with
+          | None -> missing := path :: !missing
+          | Some f ->
+              let skipped = cls = Time_ms && b <= min_ms && f <= min_ms in
+              let ok =
+                if skipped then true
+                else if cls = Iterations && Float.abs (f -. b) <= iter_slack
+                then true
+                else if b <= 0. || f <= 0. then b = f
+                else
+                  let r = f /. b in
+                  Float.max r (1. /. r) <= 1. +. tolerance
+              in
+              outcomes :=
+                { path; cls; baseline = b; fresh = f; ok; skipped }
+                :: !outcomes))
+    base_leaves;
+  let outcomes = List.rev !outcomes and missing = List.rev !missing in
+  {
+    outcomes;
+    missing;
+    pass = missing = [] && List.for_all (fun o -> o.ok) outcomes;
+  }
+
+let compare_files ?tolerance ?min_ms ?iter_slack ~baseline ~fresh () =
+  match (Json.of_file baseline, Json.of_file fresh) with
+  | Error msg, _ -> Error (Printf.sprintf "%s: %s" baseline msg)
+  | _, Error msg -> Error (Printf.sprintf "%s: %s" fresh msg)
+  | Ok b, Ok f ->
+      Ok (compare_values ?tolerance ?min_ms ?iter_slack ~baseline:b ~fresh:f ())
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun o ->
+      let note =
+        if o.skipped then "  (under noise floor)"
+        else if o.baseline > 0. && o.fresh > 0. then
+          Printf.sprintf "  (x%.2f)" (o.fresh /. o.baseline)
+        else ""
+      in
+      Format.fprintf ppf "%-6s %-58s baseline %10.3f  fresh %10.3f%s@,"
+        (if o.skipped then "skip" else if o.ok then "ok" else "FAIL")
+        o.path o.baseline o.fresh note)
+    v.outcomes;
+  List.iter
+    (fun path -> Format.fprintf ppf "FAIL   %-58s missing from fresh run@," path)
+    v.missing;
+  let gated = List.length v.outcomes + List.length v.missing in
+  Format.fprintf ppf "%d gated keys, %d failing: %s@,"
+    gated
+    (List.length v.missing
+    + List.length (List.filter (fun o -> not o.ok) v.outcomes))
+    (if v.pass then "PASS" else "FAIL");
+  Format.fprintf ppf "@]"

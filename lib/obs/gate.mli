@@ -1,0 +1,64 @@
+(** Performance-regression gate over the committed BENCH_*.json records.
+
+    Flattens baseline and fresh records to dotted numeric paths and checks
+    every {e gated} key — solve-time leaves ([ms_per_solve], [solve_ms],
+    [cold_ms], [warm_ms]) and iteration-count leaves ([*iterations]) —
+    within a two-sided relative tolerance.  Two-sided on purpose: the
+    baseline is an enforced trajectory, so a large improvement fails too
+    until the baseline is refreshed and committed.  Sub-millisecond timing
+    keys are skipped (noise-dominated); iteration keys carry a small
+    absolute slack so a zero-iteration warm start compares cleanly.  The
+    frozen [pr1_seed_baseline] block is never gated. *)
+
+type key_class = Time_ms | Iterations
+
+type outcome = {
+  path : string;  (** dotted path, array elements as [name[i]] *)
+  cls : key_class;
+  baseline : float;
+  fresh : float;
+  ok : bool;
+  skipped : bool;  (** under the noise floor: reported, never failing *)
+}
+
+type verdict = {
+  outcomes : outcome list;
+  missing : string list;
+      (** gated paths present in the baseline but absent from the fresh
+          run — always a failure *)
+  pass : bool;
+}
+
+val flatten : Json.t -> (string * float) list
+(** Numeric leaves with dotted paths, in document order. *)
+
+val classify : string -> key_class option
+(** Whether a path is gated, and as what. *)
+
+val default_tolerance : float
+(** 0.30: the ±30% band. *)
+
+val default_min_ms : float
+
+val default_iter_slack : float
+
+val compare_values :
+  ?tolerance:float ->
+  ?min_ms:float ->
+  ?iter_slack:float ->
+  baseline:Json.t ->
+  fresh:Json.t ->
+  unit ->
+  verdict
+
+val compare_files :
+  ?tolerance:float ->
+  ?min_ms:float ->
+  ?iter_slack:float ->
+  baseline:string ->
+  fresh:string ->
+  unit ->
+  (verdict, string) result
+(** [Error] on unreadable/unparseable input. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

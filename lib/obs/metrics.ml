@@ -1,0 +1,321 @@
+(* Process-wide metrics: counters, float accumulators, gauges and
+   log-scale histograms behind one enable flag.
+
+   Two cost regimes coexist:
+
+   - {e registered} instruments live in a global registry and are gated on
+     {!enabled}: while telemetry is off every operation is one load and a
+     conditional branch, no allocation, no clock reads — cheap enough to
+     leave in solver inner loops;
+   - {e local} counters (from {!local}) always count and are never
+     registered.  They are the substrate for per-call statistics that are
+     part of a public API (e.g. the revised simplex [stats] record must be
+     exact whether or not telemetry is collecting).
+
+   The registry is deliberately not thread-safe: the whole repository is
+   single-domain, and the instruments are plain mutable cells so the hot
+   paths stay allocation-free. *)
+
+let on = ref false
+
+let enabled () = !on
+
+let set_enabled b = on := b
+
+type counter = { cname : string; mutable count : int; gated : bool }
+
+type fsum = { fname : string; mutable total : float }
+
+type gauge = { gname : string; mutable gvalue : float }
+
+(* ---- log-scale histogram ----
+
+   Fixed layout shared by every histogram so merges never need
+   reconciliation: [buckets_per_decade] geometric buckets per decade from
+   10^lo_decade up to 10^hi_decade, plus an underflow bucket 0 and an
+   overflow bucket [n_buckets - 1].  Bucket i (1 <= i <= regular) spans
+   [bound (i-1), bound i) with bound i = 10^(lo_decade + i/bpd). *)
+
+let buckets_per_decade = 8
+
+let lo_decade = -9 (* 1 ns, when observations are seconds *)
+
+let hi_decade = 9
+
+let regular_buckets = buckets_per_decade * (hi_decade - lo_decade)
+
+let n_buckets = regular_buckets + 2
+
+(* Lower bound of regular bucket [i] (1-based among regular buckets). *)
+let bucket_lower i =
+  10. ** (float_of_int lo_decade
+         +. (float_of_int (i - 1) /. float_of_int buckets_per_decade))
+
+let bucket_upper i = bucket_lower (i + 1)
+
+type histogram = {
+  hname : string;
+  hgated : bool;
+  buckets : int array; (* length n_buckets *)
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+let bucket_index v =
+  if v < bucket_lower 1 then 0
+  else if v >= bucket_lower (regular_buckets + 1) then n_buckets - 1
+  else
+    let idx =
+      1
+      + int_of_float
+          (Float.floor
+             (float_of_int buckets_per_decade
+             *. (Float.log10 v -. float_of_int lo_decade)))
+    in
+    (* log10 rounding at exact bucket boundaries can land one off. *)
+    let idx = Int.max 1 (Int.min regular_buckets idx) in
+    if v < bucket_lower idx then idx - 1
+    else if v >= bucket_upper idx then idx + 1
+    else idx
+
+let fresh_histogram ?(gated = true) name =
+  {
+    hname = name;
+    hgated = gated;
+    buckets = Array.make n_buckets 0;
+    hcount = 0;
+    hsum = 0.;
+    hmin = infinity;
+    hmax = neg_infinity;
+  }
+
+let observe_unchecked h v =
+  let v = Float.max 0. v in
+  let i = bucket_index v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.hcount <- h.hcount + 1;
+  h.hsum <- h.hsum +. v;
+  if v < h.hmin then h.hmin <- v;
+  if v > h.hmax then h.hmax <- v
+
+let observe h v = if (not h.hgated) || !on then observe_unchecked h v
+
+let hist_count h = h.hcount
+
+let hist_sum h = h.hsum
+
+let hist_min h = if h.hcount = 0 then Float.nan else h.hmin
+
+let hist_max h = if h.hcount = 0 then Float.nan else h.hmax
+
+let hist_mean h =
+  if h.hcount = 0 then Float.nan else h.hsum /. float_of_int h.hcount
+
+let merge_into ~into src =
+  for i = 0 to n_buckets - 1 do
+    into.buckets.(i) <- into.buckets.(i) + src.buckets.(i)
+  done;
+  into.hcount <- into.hcount + src.hcount;
+  into.hsum <- into.hsum +. src.hsum;
+  if src.hcount > 0 then begin
+    if src.hmin < into.hmin then into.hmin <- src.hmin;
+    if src.hmax > into.hmax then into.hmax <- src.hmax
+  end
+
+(* Percentile by geometric interpolation inside the owning bucket, clamped
+   to the observed [hmin, hmax] so a single observation reports itself
+   exactly and no estimate escapes the data's range. *)
+let percentile h p =
+  if h.hcount = 0 then Float.nan
+  else begin
+    let p = Float.max 0. (Float.min 100. p) in
+    let target =
+      Int.max 1
+        (int_of_float (Float.ceil (p /. 100. *. float_of_int h.hcount)))
+    in
+    let rec find i cum =
+      if i >= n_buckets then (n_buckets - 1, h.hcount)
+      else
+        let cum' = cum + h.buckets.(i) in
+        if cum' >= target then (i, cum) else find (i + 1) cum'
+    in
+    let i, cum_before = find 0 0 in
+    let lo, hi =
+      if i = 0 then (h.hmin, Float.min h.hmax (bucket_lower 1))
+      else if i = n_buckets - 1 then (bucket_lower (regular_buckets + 1), h.hmax)
+      else (bucket_lower i, bucket_upper i)
+    in
+    let lo = Float.max lo h.hmin and hi = Float.min hi h.hmax in
+    let est =
+      if h.buckets.(i) = 0 || lo <= 0. || hi <= lo then Float.max lo hi
+      else
+        let frac =
+          (float_of_int (target - cum_before) -. 0.5)
+          /. float_of_int h.buckets.(i)
+        in
+        lo *. ((hi /. lo) ** Float.max 0. (Float.min 1. frac))
+    in
+    Float.max h.hmin (Float.min h.hmax est)
+  end
+
+(* ---- timers ---- *)
+
+type timer = { tname : string; hist : histogram }
+
+let record_s t secs = if !on then observe_unchecked t.hist secs
+
+let time t f =
+  if !on then begin
+    let t0 = Unix.gettimeofday () in
+    let finally () = observe_unchecked t.hist (Unix.gettimeofday () -. t0) in
+    Fun.protect ~finally f
+  end
+  else f ()
+
+let timer_histogram t = t.hist
+
+(* ---- registry ---- *)
+
+type instrument =
+  | Counter of counter
+  | Fsum of fsum
+  | Gauge of gauge
+  | Histogram of histogram
+  | Timer of timer
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let intern name make classify =
+  match Hashtbl.find_opt registry name with
+  | Some i -> (
+      match classify i with
+      | Some x -> x
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Obs.Metrics: %S is already registered with another type" name))
+  | None ->
+      let x = make () in
+      x
+
+let counter name =
+  intern name
+    (fun () ->
+      let c = { cname = name; count = 0; gated = true } in
+      Hashtbl.replace registry name (Counter c);
+      c)
+    (function Counter c -> Some c | _ -> None)
+
+let local name = { cname = name; count = 0; gated = false }
+
+let fsum name =
+  intern name
+    (fun () ->
+      let f = { fname = name; total = 0. } in
+      Hashtbl.replace registry name (Fsum f);
+      f)
+    (function Fsum f -> Some f | _ -> None)
+
+let gauge name =
+  intern name
+    (fun () ->
+      let g = { gname = name; gvalue = Float.nan } in
+      Hashtbl.replace registry name (Gauge g);
+      g)
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram name =
+  intern name
+    (fun () ->
+      let h = fresh_histogram name in
+      Hashtbl.replace registry name (Histogram h);
+      h)
+    (function Histogram h -> Some h | _ -> None)
+
+let timer name =
+  intern name
+    (fun () ->
+      let t = { tname = name; hist = fresh_histogram name } in
+      Hashtbl.replace registry name (Timer t);
+      t)
+    (function Timer t -> Some t | _ -> None)
+
+let local_histogram name = fresh_histogram ~gated:false name
+
+(* ---- operations ---- *)
+
+let add c n = if (not c.gated) || !on then c.count <- c.count + n
+
+let incr c = add c 1
+
+let value c = c.count
+
+let counter_name c = c.cname
+
+let accum f x = if !on then f.total <- f.total +. x
+
+let fsum_value f = f.total
+
+let set_gauge g x = if !on then g.gvalue <- x
+
+let gauge_value g = g.gvalue
+
+(* ---- snapshots ---- *)
+
+type snapshot_value =
+  | Count of int
+  | Total of float
+  | Level of float
+  | Distribution of {
+      count : int;
+      sum : float;
+      min : float;
+      max : float;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+    }
+
+let snapshot_of_histogram h =
+  Distribution
+    {
+      count = h.hcount;
+      sum = h.hsum;
+      min = hist_min h;
+      max = hist_max h;
+      p50 = percentile h 50.;
+      p90 = percentile h 90.;
+      p99 = percentile h 99.;
+    }
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name i acc ->
+      let v =
+        match i with
+        | Counter c -> Count c.count
+        | Fsum f -> Total f.total
+        | Gauge g -> Level g.gvalue
+        | Histogram h -> snapshot_of_histogram h
+        | Timer t -> snapshot_of_histogram t.hist
+      in
+      (name, v) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | Counter c -> c.count <- 0
+      | Fsum f -> f.total <- 0.
+      | Gauge g -> g.gvalue <- Float.nan
+      | Histogram h | Timer { hist = h; _ } ->
+          Array.fill h.buckets 0 n_buckets 0;
+          h.hcount <- 0;
+          h.hsum <- 0.;
+          h.hmin <- infinity;
+          h.hmax <- neg_infinity)
+    registry

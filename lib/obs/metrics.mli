@@ -1,0 +1,141 @@
+(** Process-wide metrics: counters, float accumulators, gauges, timers and
+    log-scale histograms behind one enable flag.
+
+    Registered instruments (made by {!counter}, {!fsum}, {!gauge},
+    {!histogram}, {!timer}) are interned by name in a global registry and
+    are {e gated}: while {!enabled} is false every update is a no-op
+    costing one branch — no allocation, no clock read — so instrumentation
+    can stay in solver and simulator hot paths unconditionally.  {!local}
+    counters are the exception: never registered, never gated, they back
+    per-call statistics that public APIs promise to report exactly (the
+    revised simplex [stats] record) whether or not telemetry is on.
+
+    Histograms use a fixed log-scale layout (8 buckets per decade over
+    10{^-9}..10{^9}) shared by all instances, so {!merge_into} is a plain
+    bucket-wise sum and percentiles of merged distributions are computed
+    the same way as for single ones.  Not thread-safe by design: the
+    repository is single-domain and the hot-path cost budget excludes
+    locks. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Telemetry is off by default; {!set_enabled} [true] arms every
+    registered instrument (and {!Trace} emission points check it too). *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Registered, gated counter; interned by name.
+    @raise Invalid_argument if the name is registered with another type. *)
+
+val local : string -> counter
+(** Fresh unregistered counter that always counts, even when disabled. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val value : counter -> int
+
+val counter_name : counter -> string
+
+(** {1 Float accumulators and gauges} *)
+
+type fsum
+
+val fsum : string -> fsum
+(** Registered, gated sum of float contributions (e.g. millijoules). *)
+
+val accum : fsum -> float -> unit
+
+val fsum_value : fsum -> float
+
+type gauge
+
+val gauge : string -> gauge
+(** Registered, gated last-value instrument; reads NaN before any set. *)
+
+val set_gauge : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : string -> histogram
+(** Registered, gated histogram; interned by name. *)
+
+val local_histogram : string -> histogram
+(** Fresh unregistered histogram that records even while disabled (for
+    offline aggregation, e.g. {!Report}). *)
+
+val observe : histogram -> float -> unit
+(** Record one sample (clamped below at 0); no-op while disabled for
+    registered histograms, always recorded for local ones. *)
+
+val percentile : histogram -> float -> float
+(** [percentile h p] for [p] in [0, 100]: geometric interpolation inside
+    the owning log-scale bucket, clamped to the observed min/max (so a
+    single sample reports itself exactly).  NaN when empty. *)
+
+val merge_into : into:histogram -> histogram -> unit
+(** Bucket-wise sum; count/sum/min/max combine accordingly. *)
+
+val hist_count : histogram -> int
+
+val hist_sum : histogram -> float
+
+val hist_mean : histogram -> float
+
+val hist_min : histogram -> float
+
+val hist_max : histogram -> float
+
+val bucket_lower : int -> float
+(** Lower bound of 1-based regular bucket [i]; exposed for boundary tests. *)
+
+val bucket_upper : int -> float
+
+val buckets_per_decade : int
+
+(** {1 Timers} *)
+
+type timer
+
+val timer : string -> timer
+(** A histogram of durations in seconds. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk, recording its wall-clock duration.  While disabled the
+    thunk runs untimed (no clock reads). *)
+
+val record_s : timer -> float -> unit
+(** Record an externally measured duration, seconds. *)
+
+val timer_histogram : timer -> histogram
+
+(** {1 Registry} *)
+
+type snapshot_value =
+  | Count of int
+  | Total of float
+  | Level of float
+  | Distribution of {
+      count : int;
+      sum : float;
+      min : float;
+      max : float;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+    }
+
+val snapshot : unit -> (string * snapshot_value) list
+(** Every registered instrument with its current value, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument (local counters are untouched). *)

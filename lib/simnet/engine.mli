@@ -98,6 +98,16 @@ val reroutes : 'msg t -> int
 (** Number of transmissions that hit a transient failure and paid the
     re-routing premium (planning-side [?failure] model only). *)
 
+val bytes_sent : 'msg t -> int
+(** Payload bytes put on the air so far: unicasts and retransmissions at
+    their frame size, each local broadcast counted once (one transmission
+    however many children listen). *)
+
+val epochs_run : 'msg t -> int
+(** Completed {!run} calls — one per collection epoch in the paper's
+    terms.  Each completed run also emits an [Epoch] span (per-round
+    message/byte/energy deltas) when an {!Obs.Trace} sink is installed. *)
+
 val retransmissions_sent : 'msg t -> int
 (** Data frames re-sent by the reliability sublayer. *)
 

@@ -1,0 +1,100 @@
+(* CI perf-regression gate: compare a freshly generated BENCH_*.json
+   against the committed baseline (see Obs.Gate for the key selection and
+   tolerance semantics).  Exit 0 on pass, 1 on regression, 2 on usage or
+   unreadable input.
+
+   usage: bench_gate [--tolerance F] [--min-ms F] --self-test
+          bench_gate [--tolerance F] [--min-ms F] BASELINE FRESH *)
+
+let usage () =
+  prerr_endline
+    "usage: bench_gate [--tolerance F] [--min-ms F] (BASELINE FRESH | \
+     --self-test)";
+  exit 2
+
+(* The gate gating itself: a synthetic record must pass against itself and
+   fail once a gated baseline key is inflated 2x.  Run in CI before the
+   real comparisons so a broken comparator can never wave regressions
+   through. *)
+let self_test () =
+  let record ~ms ~iters =
+    Obs.Json.Obj
+      [
+        ( "lp_solve_times",
+          Obs.Json.List
+            [
+              Obs.Json.Obj
+                [
+                  ("name", Obs.Json.Str "lp+lf");
+                  ("ms_per_solve", Obs.Json.Num ms);
+                  ("iterations", Obs.Json.Num iters);
+                ];
+            ] );
+        ( "warm_start_replan",
+          Obs.Json.Obj
+            [ ("cold_ms", Obs.Json.Num ms); ("warm_iterations", Obs.Json.Num 0.) ]
+        );
+        (* Frozen history must never be gated, however wrong it looks. *)
+        ( "pr1_seed_baseline",
+          Obs.Json.Obj [ ("ms_per_solve", Obs.Json.Num (100. *. ms)) ] );
+      ]
+  in
+  let baseline = record ~ms:20. ~iters:100. in
+  let check name ~expect fresh =
+    let v = Obs.Gate.compare_values ~baseline ~fresh () in
+    if v.Obs.Gate.pass <> expect then begin
+      Printf.eprintf "self-test %s: expected %s\n%!" name
+        (if expect then "pass" else "fail");
+      Format.eprintf "%a@." Obs.Gate.pp_verdict v;
+      exit 1
+    end
+  in
+  check "identity" ~expect:true baseline;
+  check "within tolerance" ~expect:true (record ~ms:24. ~iters:101.);
+  check "2x time inflation" ~expect:false (record ~ms:40. ~iters:100.);
+  check "2x iteration inflation" ~expect:false (record ~ms:20. ~iters:200.);
+  check "large improvement also fails" ~expect:false
+    (record ~ms:5. ~iters:100.);
+  (let missing = Obs.Json.Obj [ ("unrelated", Obs.Json.Num 1.) ] in
+   check "missing gated keys" ~expect:false missing);
+  print_endline "bench_gate self-test: PASS"
+
+let () =
+  let tolerance = ref None and min_ms = ref None in
+  let positional = ref [] and selftest = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0. -> tolerance := Some f
+        | _ -> usage ());
+        parse rest
+    | "--min-ms" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f >= 0. -> min_ms := Some f
+        | _ -> usage ());
+        parse rest
+    | "--self-test" :: rest ->
+        selftest := true;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: rest ->
+        positional := arg :: !positional;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match (!selftest, List.rev !positional) with
+  | true, [] -> self_test ()
+  | false, [ baseline; fresh ] -> (
+      match
+        Obs.Gate.compare_files ?tolerance:!tolerance ?min_ms:!min_ms ~baseline
+          ~fresh ()
+      with
+      | Error msg ->
+          Printf.eprintf "bench_gate: %s\n" msg;
+          exit 2
+      | Ok verdict ->
+          Printf.printf "== %s vs %s ==\n" baseline fresh;
+          Format.printf "%a@." Obs.Gate.pp_verdict verdict;
+          exit (if verdict.Obs.Gate.pass then 0 else 1))
+  | _ -> usage ()
