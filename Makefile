@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test stress bench bench-quick bench-json bench-certify \
-	bench-telemetry gate examples clean
+	bench-telemetry gate lint examples clean
 
 all: build
 
@@ -52,6 +52,12 @@ gate:
 	dune exec bench/main.exe -- certify --out _gate_fresh_pr3.json
 	dune exec tools/bench_gate.exe -- BENCH_PR1.json _gate_fresh_pr1.json
 	dune exec tools/bench_gate.exe -- BENCH_PR3.json _gate_fresh_pr3.json
+
+# AST-level invariant lint (tools/repolint): determinism, hash-order,
+# polymorphic comparison, partial accessors, stdout hygiene.  Fails on
+# any finding not accepted by lint_baseline.txt; writes a JSON report.
+lint:
+	dune exec tools/repolint/repolint.exe -- --json _lint_report.json
 
 examples:
 	dune exec examples/quickstart.exe

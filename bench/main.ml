@@ -81,14 +81,17 @@ let bechamel_table tests =
   in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   let print_row (name, ols) =
     match Analyze.OLS.estimates ols with
     | Some (est :: _) ->
         Format.printf "%-40s %10.2f ms/solve@." name (est /. 1e6)
     | Some [] | None -> Format.printf "%-40s (no estimate)@." name
   in
-  List.iter print_row (List.sort compare rows)
+  List.iter print_row rows
 
 let run_lp_timing () =
   Format.printf "@.######## LP solve times (Other Results) ########@.";
@@ -148,7 +151,7 @@ let run_lp_timing () =
    trajectory to regress against; keep the shape stable. *)
 
 let median l =
-  let a = List.sort compare l in
+  let a = List.sort Float.compare l in
   List.nth a (List.length a / 2)
 
 let time_solves ~reps f =

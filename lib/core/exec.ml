@@ -6,7 +6,7 @@ type outcome = {
 }
 
 let value_order (i, x) (j, y) =
-  match compare (y : float) x with 0 -> compare i j | c -> c
+  match Float.compare y x with 0 -> Int.compare i j | c -> c
 
 let take_prefix n xs =
   let rec go n xs acc =

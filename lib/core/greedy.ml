@@ -7,8 +7,8 @@ let chosen_by_colsum topo cost ~colsum ~budget =
     List.init n (fun i -> i)
     |> List.filter (fun i -> i <> root && colsum.(i) > 0)
     |> List.sort (fun a b ->
-           match compare colsum.(b) colsum.(a) with
-           | 0 -> compare a b
+           match Int.compare colsum.(b) colsum.(a) with
+           | 0 -> Int.compare a b
            | c -> c)
   in
   let chosen = Array.make n false in

@@ -30,7 +30,15 @@ let build topo cost samples ~budget ~k =
         Some (Lp.Model.add_var model ~upper:cap (Printf.sprintf "b%d" i))
     end
   done;
-  let getz i = Option.get z.(i) and getb i = Option.get b.(i) in
+  let getz i =
+    match z.(i) with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "Lp_lf.plan: no z variable for node %d" i)
+  and getb i =
+    match b.(i) with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "Lp_lf.plan: no b variable for node %d" i)
+  in
   (* y variables, one per (sample, non-root one). *)
   let y = Hashtbl.create (n_samples * k) in
   for j = 0 to n_samples - 1 do
@@ -54,10 +62,14 @@ let build topo cost samples ~budget ~k =
         Lp.Model.add_le model [ (1., getz i); (-1., getz p) ] 0.
     end
   done;
-  (* y_{j,i} <= z_i on the node's own uplink. *)
-  Hashtbl.iter
-    (fun (_, i) yv -> Lp.Model.add_le model [ (1., yv); (-1., getz i) ] 0.)
-    y;
+  (* y_{j,i} <= z_i on the node's own uplink.  Rows are added in sorted
+     (sample, node) order so the LP's row layout — and therefore the
+     solver's pivot trajectory — never depends on hash-table order. *)
+  Hashtbl.fold (fun k yv acc -> (k, yv) :: acc) y []
+  |> List.sort (fun (((j1 : int), (i1 : int)), _) ((j2, i2), _) ->
+         match Int.compare j1 j2 with 0 -> Int.compare i1 i2 | c -> c)
+  |> List.iter (fun ((_, i), yv) ->
+         Lp.Model.add_le model [ (1., yv); (-1., getz i) ] 0.);
   (* Bandwidth rows: per (edge, sample), the covered ones below the edge
      cannot exceed its bandwidth.  Rows with no ones below are skipped. *)
   for i = 0 to n - 1 do

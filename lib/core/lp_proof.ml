@@ -39,7 +39,12 @@ let plan ?warm_start ?max_lp_iterations ?lp_deadline topo cost samples ~budget
              (Printf.sprintf "b%d" i))
     end
   done;
-  let getb i = Option.get b.(i) in
+  let getb i =
+    match b.(i) with
+    | Some v -> v
+    | None ->
+        failwith (Printf.sprintf "Lp_proof.plan: no b variable for node %d" i)
+  in
   (* p variables: (sample, node, ancestor) -> var.  The ancestor list of a
      node includes itself and ends at the root. *)
   let p = Hashtbl.create (n_samples * n * 4) in
@@ -56,7 +61,15 @@ let plan ?warm_start ?max_lp_iterations ?lp_deadline topo cost samples ~budget
         (Sensor.Topology.path_to_root topo u)
     done
   done;
-  let getp j u a = Hashtbl.find p (j, u, a) in
+  let getp j u a =
+    match Hashtbl.find_opt p (j, u, a) with
+    | Some v -> v
+    | None ->
+        failwith
+          (Printf.sprintf
+             "Lp_proof.plan: no p variable for sample %d, node %d, ancestor %d"
+             j u a)
+  in
   (* Chain constraints (13): going up the path, provenness cannot grow. *)
   for j = 0 to n_samples - 1 do
     for u = 0 to n - 1 do

@@ -27,7 +27,17 @@ let plan_by_colsum ?warm_start ?max_lp_iterations ?lp_deadline topo cost
       z.(i) <- Some (Lp.Model.add_var model ~upper:1. (Printf.sprintf "z%d" i))
     end
   done;
-  let getx i = Option.get x.(i) and getz i = Option.get z.(i) in
+  let getx i =
+    match x.(i) with
+    | Some v -> v
+    | None ->
+        failwith (Printf.sprintf "Ship_lp.plan: no x variable for node %d" i)
+  and getz i =
+    match z.(i) with
+    | Some v -> v
+    | None ->
+        failwith (Printf.sprintf "Ship_lp.plan: no z variable for node %d" i)
+  in
   (* x_i <= z_i and edge-usage monotonicity z_i <= z_parent(i). *)
   for i = 0 to n - 1 do
     if i <> root then begin
@@ -112,7 +122,9 @@ let plan_by_colsum ?warm_start ?max_lp_iterations ?lp_deadline topo cost
            && Lp.Model.value sol (getx i) > 0.05
            && colsum.(i) > 0)
     |> List.sort (fun a b ->
-           compare (Lp.Model.value sol (getx b)) (Lp.Model.value sol (getx a)))
+           Float.compare
+             (Lp.Model.value sol (getx b))
+             (Lp.Model.value sol (getx a)))
   in
   List.iter
     (fun i ->

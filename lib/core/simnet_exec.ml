@@ -21,7 +21,7 @@ let darkness topo =
   let mark node =
     acc := List.rev_append (Sensor.Topology.descendants topo node) !acc
   in
-  let get () = List.sort_uniq compare !acc in
+  let get () = List.sort_uniq Int.compare !acc in
   (mark, get)
 
 let collect topo mica ?failure ?fault ?policy plan ~k ~readings =

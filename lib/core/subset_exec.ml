@@ -66,7 +66,7 @@ let quantile_estimate ~phi received =
   | [] -> None
   | _ ->
       let values =
-        List.map snd received |> List.sort compare |> Array.of_list
+        List.map snd received |> List.sort Float.compare |> Array.of_list
       in
       let pos = phi *. float_of_int (Array.length values - 1) in
       let lo = int_of_float (Float.floor pos) in

@@ -39,7 +39,7 @@ let run ?(quick = false) ~seed () =
              Prospector.Evaluate.total_per_run_mj p;
              100. *. p.Prospector.Evaluate.accuracy;
            ])
-         (List.sort_uniq compare ks))
+         (List.sort_uniq Int.compare ks))
   in
   [
     sweep "GREEDY" (fun ~budget -> Planner_eval.greedy s ~budget);

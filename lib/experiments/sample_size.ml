@@ -12,7 +12,7 @@ let sweep name (full : Setup.t) counts budget =
           if count >= total then [ 0 ]
           else
             let span = total - count in
-            [ 0; span / 2; span ] |> List.sort_uniq compare
+            [ 0; span / 2; span ] |> List.sort_uniq Int.compare
         in
         let accs =
           List.map

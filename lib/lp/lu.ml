@@ -61,6 +61,21 @@ let factor ~dim cols =
     Hashtbl.remove row_set.(r) c;
     Hashtbl.remove col_set.(c) r
   in
+  (* Total lookup for entries the row/col sets claim exist. *)
+  let entry r c =
+    match Hashtbl.find_opt values (key dim r c) with
+    | Some v -> v
+    | None ->
+        failwith
+          (Printf.sprintf
+             "Lu.factor: missing matrix entry (%d,%d) during elimination" r c)
+  in
+  (* Members of a row/col occupancy set in ascending index order, so pivot
+     tie-breaks and update arithmetic never depend on hash order. *)
+  let sorted_members set =
+    Hashtbl.fold (fun i () acc -> i :: acc) set []
+    |> List.sort Int.compare
+  in
   Array.iteri
     (fun c v -> Sparse_vec.iter (fun r x -> insert r c x) v)
     cols;
@@ -77,9 +92,10 @@ let factor ~dim cols =
       singleton_rows := i :: !singleton_rows
   done;
   let col_max c =
-    Hashtbl.fold
+    (* Running max is order-insensitive. *)
+    (Hashtbl.fold [@lint.allow "R2"])
       (fun r () acc ->
-        let a = Float.abs (Hashtbl.find values (key dim r c)) in
+        let a = Float.abs (entry r c) in
         if a > acc then a else acc)
       col_set.(c) 0.
   in
@@ -90,8 +106,9 @@ let factor ~dim cols =
     | c :: rest ->
         singleton_cols := rest;
         if col_active.(c) && Hashtbl.length col_set.(c) = 1 then begin
-          let r = Hashtbl.fold (fun r () _ -> r) col_set.(c) (-1) in
-          let v = Hashtbl.find values (key dim r c) in
+          (* Singleton table: the fold visits exactly one binding. *)
+          let r = (Hashtbl.fold [@lint.allow "R2"]) (fun r () _ -> r) col_set.(c) (-1) in
+          let v = entry r c in
           if Float.abs v > abs_pivot_tol then Some (r, c, v)
           else pop_singleton_col ()
         end
@@ -103,8 +120,9 @@ let factor ~dim cols =
     | r :: rest ->
         singleton_rows := rest;
         if row_active.(r) && Hashtbl.length row_set.(r) = 1 then begin
-          let c = Hashtbl.fold (fun c () _ -> c) row_set.(r) (-1) in
-          let v = Hashtbl.find values (key dim r c) in
+          (* Singleton table: the fold visits exactly one binding. *)
+          let c = (Hashtbl.fold [@lint.allow "R2"]) (fun c () _ -> c) row_set.(r) (-1) in
+          let v = entry r c in
           (* A row singleton must still respect threshold pivoting within
              its column to bound element growth. *)
           if
@@ -125,12 +143,15 @@ let factor ~dim cols =
         let cc = Hashtbl.length col_set.(c) in
         if cc > 0 && (cc - 1) < !best_cost then begin
           let cmax = col_max c in
-          Hashtbl.iter
-            (fun r () ->
+          (* Strict [<] keeps the first candidate on cost ties, so the
+             scan order (ascending row index) is part of the tie-break
+             and the chosen pivot is reproducible. *)
+          List.iter
+            (fun r ->
               let rc = Hashtbl.length row_set.(r) in
               let cost = (rc - 1) * (cc - 1) in
               if cost < !best_cost then begin
-                let v = Hashtbl.find values (key dim r c) in
+                let v = entry r c in
                 if
                   Float.abs v > abs_pivot_tol
                   && Float.abs v >= threshold *. cmax
@@ -139,7 +160,7 @@ let factor ~dim cols =
                   best_cost := cost
                 end
               end)
-            col_set.(c)
+            (sorted_members col_set.(c))
         end
       end
     done;
@@ -157,23 +178,21 @@ let factor ~dim cols =
           | Some p -> p
           | None -> markowitz_scan k)
     in
-    (* Snapshot the pivot row (U row), pivot excluded. *)
-    let u_entries = ref [] in
-    Hashtbl.iter
-      (fun c () ->
-        if c <> c_hat then
-          u_entries := (c, Hashtbl.find values (key dim r_hat c)) :: !u_entries)
-      row_set.(r_hat);
-    let u_entries = !u_entries in
+    (* Snapshot the pivot row (U row), pivot excluded, in column order so
+       the update arithmetic below is performed in a fixed sequence. *)
+    let u_entries =
+      List.filter_map
+        (fun c -> if c <> c_hat then Some (c, entry r_hat c) else None)
+        (sorted_members row_set.(r_hat))
+    in
     (* Eliminate every other row having an entry in the pivot column. *)
-    let elim_rows = ref [] in
-    Hashtbl.iter
-      (fun r () -> if r <> r_hat then elim_rows := r :: !elim_rows)
-      col_set.(c_hat);
+    let elim_rows =
+      List.filter (fun r -> r <> r_hat) (sorted_members col_set.(c_hat))
+    in
     let l_entries = ref [] in
     List.iter
       (fun r ->
-        let f = Hashtbl.find values (key dim r c_hat) /. v_hat in
+        let f = entry r c_hat /. v_hat in
         l_entries := (r, f) :: !l_entries;
         remove r c_hat;
         List.iter
@@ -196,7 +215,7 @@ let factor ~dim cols =
           u_entries;
         if Hashtbl.length row_set.(r) = 1 then
           singleton_rows := r :: !singleton_rows)
-      !elim_rows;
+      elim_rows;
     (* Retire the pivot row and column. *)
     List.iter
       (fun (c, _) ->

@@ -19,6 +19,16 @@ type t = {
   mutable nvars : int;
   mutable rows : row list;      (* reversed *)
   mutable nrows : int;
+  (* O(1) per-variable views of the reversed building lists, materialized
+     on first lookup or solve and invalidated by [add_var]; keeps
+     [var_name]/[var_bounds] off the O(n) [List.nth] path. *)
+  mutable finalized : finalized option;
+}
+
+and finalized = {
+  f_names : string array;
+  f_lowers : float array;
+  f_uppers : float array;
 }
 
 type basis = { b_nvars : int; b_nrows : int; rb : Revised.basis }
@@ -49,7 +59,22 @@ let create ?(direction = Minimize) () =
     nvars = 0;
     rows = [];
     nrows = 0;
+    finalized = None;
   }
+
+let finalize t =
+  match t.finalized with
+  | Some f -> f
+  | None ->
+      let n = t.nvars in
+      let names = Array.make n "" in
+      let lowers = Array.make n 0. and uppers = Array.make n 0. in
+      List.iteri (fun k s -> names.(n - 1 - k) <- s) t.names;
+      List.iteri (fun k l -> lowers.(n - 1 - k) <- l) t.lowers;
+      List.iteri (fun k u -> uppers.(n - 1 - k) <- u) t.uppers;
+      let f = { f_names = names; f_lowers = lowers; f_uppers = uppers } in
+      t.finalized <- Some f;
+      f
 
 let direction t = t.dir
 
@@ -66,9 +91,12 @@ let add_var t ?(lower = 0.) ?(upper = infinity) ?(obj = 0.) name =
   end;
   t.objs.(v) <- obj;
   t.nvars <- v + 1;
+  t.finalized <- None;
   v
 
-let var_name t v = List.nth t.names (t.nvars - 1 - v)
+let var_name t v =
+  if v < 0 || v >= t.nvars then invalid_arg "Model.var_name: unknown var";
+  (finalize t).f_names.(v)
 
 let set_obj t v c =
   if v < 0 || v >= t.nvars then invalid_arg "Model.set_obj: unknown var";
@@ -96,7 +124,8 @@ let var_of_index t j =
 
 let var_bounds t v =
   if v < 0 || v >= t.nvars then invalid_arg "Model.var_bounds: unknown var";
-  (List.nth t.lowers (t.nvars - 1 - v), List.nth t.uppers (t.nvars - 1 - v))
+  let f = finalize t in
+  (f.f_lowers.(v), f.f_uppers.(v))
 
 let obj_coeff t v =
   if v < 0 || v >= t.nvars then invalid_arg "Model.obj_coeff: unknown var";
@@ -113,10 +142,11 @@ let value sol v = sol.values.(v)
 
 let to_problem t =
   let n = t.nvars and m = t.nrows in
+  let f = finalize t in
   let rows = Array.of_list (List.rev t.rows) in
   let lower = Array.make (n + m) 0. and upper = Array.make (n + m) 0. in
-  List.iteri (fun k l -> lower.(t.nvars - 1 - k) <- l) t.lowers;
-  List.iteri (fun k u -> upper.(t.nvars - 1 - k) <- u) t.uppers;
+  Array.blit f.f_lowers 0 lower 0 n;
+  Array.blit f.f_uppers 0 upper 0 n;
   let obj = Array.make (n + m) 0. in
   let sign = match t.dir with Minimize -> 1. | Maximize -> -1. in
   for j = 0 to n - 1 do
@@ -248,9 +278,8 @@ let solve_dense ?max_pivots t =
      (descriptive rejection of NaN/inf data instead of a garbage tableau). *)
   Problem.validate (to_problem t);
   let n = t.nvars in
-  let lower = Array.make n 0. and upper = Array.make n 0. in
-  List.iteri (fun k l -> lower.(t.nvars - 1 - k) <- l) t.lowers;
-  List.iteri (fun k u -> upper.(t.nvars - 1 - k) <- u) t.uppers;
+  let fz = finalize t in
+  let lower = fz.f_lowers and upper = fz.f_uppers in
   (* Variable v maps to column pos.(v); free variables additionally own a
      negative part at column neg.(v). *)
   let pos = Array.make n (-1) and neg = Array.make n (-1) in

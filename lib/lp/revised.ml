@@ -550,7 +550,7 @@ let past_deadline st =
   (* Check on the very first entry (an already-expired deadline must stop
      even a tiny solve) and every 32 ticks thereafter. *)
   && (st.loop_ticks = 1 || st.loop_ticks land 31 = 0)
-  && Unix.gettimeofday () >= st.deadline_at
+  && Obs.Trace.now () >= st.deadline_at
 
 (* Run the simplex loop with objective [c] until optimality or trouble.
    [phase1] only affects iteration bookkeeping. *)
@@ -690,7 +690,7 @@ let solve ?(max_iterations = 200_000) ?deadline ?(feas_tol = 1e-7)
   let deadline_at =
     match deadline with
     | None -> infinity
-    | Some d -> Unix.gettimeofday () +. Float.max 0. d
+    | Some d -> Obs.Trace.now () +. Float.max 0. d
   in
   let m = prob.Problem.nrows and n = prob.Problem.ncols in
   let ntot = n + m in

@@ -12,7 +12,7 @@ let of_assoc pairs =
     (fun (i, _) ->
       if i < 0 then invalid_arg "Sparse_vec.of_assoc: negative index")
     pairs;
-  let sorted = List.sort (fun (i, _) (j, _) -> compare i j) pairs in
+  let sorted = List.sort (fun (i, _) (j, _) -> Int.compare i j) pairs in
   (* Sum duplicates, then drop tiny entries. *)
   let rec merge acc = function
     | [] -> List.rev acc

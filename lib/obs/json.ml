@@ -224,54 +224,52 @@ let rec parse_value st =
   skip_ws st;
   match peek st with
   | None -> fail st "unexpected end of input"
-  | Some '{' ->
+  | Some '{' -> (
       advance st;
       skip_ws st;
-      if peek st = Some '}' then begin
-        advance st;
-        Obj []
-      end
-      else begin
-        let rec members acc =
-          skip_ws st;
-          let k = parse_string st in
-          skip_ws st;
-          expect st ':';
-          let v = parse_value st in
-          skip_ws st;
-          match peek st with
-          | Some ',' ->
-              advance st;
-              members ((k, v) :: acc)
-          | Some '}' ->
-              advance st;
-              List.rev ((k, v) :: acc)
-          | _ -> fail st "expected ',' or '}'"
-        in
-        Obj (members [])
-      end
-  | Some '[' ->
+      match peek st with
+      | Some '}' ->
+          advance st;
+          Obj []
+      | _ ->
+          let rec members acc =
+            skip_ws st;
+            let k = parse_string st in
+            skip_ws st;
+            expect st ':';
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                advance st;
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance st;
+                List.rev ((k, v) :: acc)
+            | _ -> fail st "expected ',' or '}'"
+          in
+          Obj (members []))
+  | Some '[' -> (
       advance st;
       skip_ws st;
-      if peek st = Some ']' then begin
-        advance st;
-        List []
-      end
-      else begin
-        let rec items acc =
-          let v = parse_value st in
-          skip_ws st;
-          match peek st with
-          | Some ',' ->
-              advance st;
-              items (v :: acc)
-          | Some ']' ->
-              advance st;
-              List.rev (v :: acc)
-          | _ -> fail st "expected ',' or ']'"
-        in
-        List (items [])
-      end
+      match peek st with
+      | Some ']' ->
+          advance st;
+          List []
+      | _ ->
+          let rec items acc =
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                advance st;
+                items (v :: acc)
+            | Some ']' ->
+                advance st;
+                List.rev (v :: acc)
+            | _ -> fail st "expected ',' or ']'"
+          in
+          List (items []))
   | Some '"' -> Str (parse_string st)
   | Some 't' -> literal st "true" (Bool true)
   | Some 'f' -> literal st "false" (Bool false)

@@ -64,11 +64,28 @@ let of_events evs =
       in
       if e.Trace.dur_s > 0. then Metrics.observe h e.Trace.dur_s)
     evs;
+  (* Canonical order everywhere downstream (pp, JSONL/CSV exporters, the
+     BENCH_PR4.json record): rows by (kind, name), attr totals by key,
+     histograms by kind — never hash-table order. *)
   let rows =
     Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
-    |> List.sort (fun a b -> compare (a.kind, a.name) (b.kind, b.name))
+    |> List.sort (fun a b ->
+           match Trace.compare_kind a.kind b.kind with
+           | 0 -> String.compare a.name b.name
+           | c -> c)
+    |> List.map (fun r ->
+           {
+             r with
+             attr_sums =
+               List.sort
+                 (fun (a, _) (b, _) -> String.compare a b)
+                 r.attr_sums;
+           })
   in
-  let dur_hists = Hashtbl.fold (fun k h acc -> (k, h) :: acc) hists [] in
+  let dur_hists =
+    Hashtbl.fold (fun k h acc -> (k, h) :: acc) hists []
+    |> List.sort (fun (a, _) (b, _) -> Trace.compare_kind a b)
+  in
   { rows; dur_hists }
 
 let rows t = t.rows
@@ -97,7 +114,7 @@ let pp ppf t =
           (1000. *. Metrics.percentile h 90.)
           (1000. *. Metrics.percentile h 99.)
           (1000. *. Metrics.hist_max h))
-    (List.sort compare t.dur_hists);
+    t.dur_hists;
   List.iter
     (fun r ->
       if r.attr_sums <> [] then begin
@@ -106,7 +123,7 @@ let pp ppf t =
           r.name;
         List.iter
           (fun (k, v) -> Format.fprintf ppf " %s=%s" k (Json.number_to_string v))
-          (List.sort compare r.attr_sums);
+          r.attr_sums;
         Format.fprintf ppf "@,"
       end)
     t.rows;

@@ -55,6 +55,17 @@ let kind_to_string = function
   | Epoch -> "epoch"
   | Retransmit -> "retransmit"
 
+(* Declaration-order rank, so aggregators can sort without polymorphic
+   compare and exporter output has one canonical kind order. *)
+let kind_rank = function
+  | Solve -> 0
+  | Certify -> 1
+  | Plan -> 2
+  | Epoch -> 3
+  | Retransmit -> 4
+
+let compare_kind a b = Int.compare (kind_rank a) (kind_rank b)
+
 let kind_of_string = function
   | "solve" -> Some Solve
   | "certify" -> Some Certify

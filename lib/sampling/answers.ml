@@ -58,7 +58,7 @@ let ranked row =
   let order = Array.init (Array.length row) (fun i -> i) in
   Array.sort
     (fun a b ->
-      match compare row.(a) row.(b) with 0 -> compare a b | c -> c)
+      match Float.compare row.(a) row.(b) with 0 -> Int.compare a b | c -> c)
     order;
   order
 

@@ -13,7 +13,9 @@ let top_k_nodes ~k values =
   (* Sort by value descending, node id ascending on ties. *)
   Array.sort
     (fun a b ->
-      match compare values.(b) values.(a) with 0 -> compare a b | c -> c)
+      match Float.compare values.(b) values.(a) with
+      | 0 -> Int.compare a b
+      | c -> c)
     order;
   Array.sub order 0 (Int.min k n)
 

@@ -81,7 +81,7 @@ let percentile xs p =
   if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
   if p < 0. || p > 1. then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let pos = p *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in

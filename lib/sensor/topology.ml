@@ -27,7 +27,7 @@ let of_parents ~root parent =
     (fun i p -> if i <> root then child_lists.(p) <- i :: child_lists.(p))
     parent;
   let children =
-    Array.map (fun l -> Array.of_list (List.sort compare l)) child_lists
+    Array.map (fun l -> Array.of_list (List.sort Int.compare l)) child_lists
   in
   (* BFS computes depth and detects unreachable nodes (cycles). *)
   let depth = Array.make n (-1) in
@@ -116,7 +116,7 @@ let build layout ~range =
             end)
           adj.(u))
       !frontier;
-    frontier := List.sort_uniq compare !next
+    frontier := List.sort_uniq Int.compare !next
   done;
   let unreachable = ref [] in
   for i = n - 1 downto 0 do

@@ -346,6 +346,20 @@ let handle_retransmit t fc ~time:_ ~src ~dst ~seq =
 
 let fault_stat t pick = match t.fault with None -> 0 | Some fc -> pick fc
 
+(* Reliability events (Data/AckFrame/Retransmit) are only ever scheduled
+   by the fault layer, so a missing fault context here is a scheduler
+   invariant violation; fail with the event and link rather than a bare
+   [Option.get] backtrace. *)
+let fault_ctx t ~event ~src ~dst =
+  match t.fault with
+  | Some fc -> fc
+  | None ->
+      failwith
+        (Printf.sprintf
+           "Simnet.Engine: %s event on link %d->%d but no fault model is \
+            installed"
+           event src dst)
+
 let run ?(max_events = 10_000_000) t =
   (* Snapshot the ledgers so the epoch span reports this run's deltas even
      when the same engine executes several collection rounds. *)
@@ -384,15 +398,15 @@ let run ?(max_events = 10_000_000) t =
           | Timer { callback; _ } -> callback ()
           | Deliver { dst; src; msg } -> deliver t ~dst ~src msg
           | Data { dst; src; seq; msg; recv_mj } ->
-              let fc = Option.get t.fault in
+              let fc = fault_ctx t ~event:"Data" ~src ~dst in
               handle_data t fc ~time:t.now ~dst ~src ~seq ~msg ~recv_mj
           | AckFrame { dst; src; seq } ->
-              let fc = Option.get t.fault in
+              let fc = fault_ctx t ~event:"AckFrame" ~src ~dst in
               (* [dst] sent the data originally; [src] is acknowledging. *)
               if frame_arrives t fc ~src ~dst ~at:t.now then
                 Reliable.ack fc.links ~src:dst ~dst:src ~seq
           | Retransmit { src; dst; seq } ->
-              let fc = Option.get t.fault in
+              let fc = fault_ctx t ~event:"Retransmit" ~src ~dst in
               handle_retransmit t fc ~time:t.now ~src ~dst ~seq
           | GaveUp { src; dst; msg } -> (
               match t.give_up_handlers.(src) with

@@ -1,0 +1,10 @@
+let ok tbl = (Hashtbl.fold [@lint.allow "R2"]) (fun k () acc -> k :: acc) tbl []
+let bad tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+let also_ok s = (print_endline [@lint.allow "R5"]) s
+
+let binding_ok tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+  [@@lint.allow "R2"]
+
+[@@@lint.allow "R1"]
+
+let quiet () = Random.bits ()

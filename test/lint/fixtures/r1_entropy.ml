@@ -1,0 +1,4 @@
+let roll () = Random.int 6
+let now () = Unix.gettimeofday ()
+let h x = Hashtbl.hash x
+let t () = Sys.time ()

@@ -1,0 +1,2 @@
+let keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+let dump tbl f = Hashtbl.iter (fun k v -> f k v) tbl

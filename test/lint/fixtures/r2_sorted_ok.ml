@@ -1,0 +1,9 @@
+(* Folds whose output is immediately re-sorted are order-safe. *)
+let keys tbl =
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort Int.compare
+
+let keys2 tbl =
+  List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+let keys3 tbl =
+  List.sort Int.compare @@ Hashtbl.fold (fun k () acc -> k :: acc) tbl []

@@ -1,0 +1,6 @@
+let worst a b = compare a b
+let biggest a b = max a b
+let same_pair a b c d = (a, b) = (c, d)
+let fine = max 1 2
+let fine2 a = a = 0
+let fine3 s = List.sort String.compare s

@@ -1,0 +1,5 @@
+let first l = List.hd l
+let pick o = Option.get o
+let nth l n = List.nth l n
+let look tbl k = Hashtbl.find tbl k
+let fine l = List.nth_opt l 0

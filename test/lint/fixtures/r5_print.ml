@@ -1,0 +1,3 @@
+let shout s = print_endline s
+let logf s = Printf.printf "%s" s
+let fine ppf s = Format.fprintf ppf "%s" s

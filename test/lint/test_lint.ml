@@ -1,0 +1,138 @@
+(* Fixture-driven tests for the repolint engine.  Each fixture is a tiny
+   compilable (or deliberately broken) .ml file; we lint it under a
+   synthetic logical path so the zone rules (R1 outside obs/bench, R4 in
+   planner paths, R5 in lib/) are exercised without touching real code. *)
+
+open Repolint_lib
+
+let lint ~logical fixture =
+  Lint_engine.lint_file ~file:("fixtures/" ^ fixture) logical
+
+let hits findings =
+  List.map (fun (f : Finding.t) -> (f.rule, f.line)) findings
+
+let hit = Alcotest.(pair string int)
+
+let check_hits name expected findings =
+  Alcotest.check (Alcotest.list hit) name expected (hits findings)
+
+(* ---- R1: determinism ---- *)
+
+let test_r1_fires () =
+  check_hits "R1 on each entropy primitive"
+    [ ("R1", 1); ("R1", 2); ("R1", 3); ("R1", 4) ]
+    (lint ~logical:"lib/core/r1_entropy.ml" "r1_entropy.ml")
+
+let test_r1_zones () =
+  check_hits "R1 exempt in bench/" []
+    (lint ~logical:"bench/r1_entropy.ml" "r1_entropy.ml");
+  check_hits "R1 exempt in lib/obs/" []
+    (lint ~logical:"lib/obs/r1_entropy.ml" "r1_entropy.ml")
+
+(* ---- R2: hash-order iteration ---- *)
+
+let test_r2_fires () =
+  check_hits "R2 on bare fold/iter"
+    [ ("R2", 1); ("R2", 2) ]
+    (lint ~logical:"lib/core/r2_hash_order.ml" "r2_hash_order.ml")
+
+let test_r2_sort_feed () =
+  check_hits "folds feeding a sort are exempt" []
+    (lint ~logical:"lib/core/r2_sorted_ok.ml" "r2_sorted_ok.ml")
+
+(* ---- R3: polymorphic comparison ---- *)
+
+let test_r3 () =
+  check_hits "R3 on comparator closures and structural =/<>"
+    [ ("R3", 1); ("R3", 2); ("R3", 3) ]
+    (lint ~logical:"lib/core/r3_poly_compare.ml" "r3_poly_compare.ml")
+
+(* ---- R4: partial accessors in planner paths ---- *)
+
+let test_r4_fires () =
+  check_hits "R4 on each partial accessor"
+    [ ("R4", 1); ("R4", 2); ("R4", 3); ("R4", 4) ]
+    (lint ~logical:"lib/lp/r4_partial.ml" "r4_partial.ml")
+
+let test_r4_zones () =
+  check_hits "R4 only in lib/core + lib/lp" []
+    (lint ~logical:"lib/sensor/r4_partial.ml" "r4_partial.ml")
+
+(* ---- R5: stdout hygiene ---- *)
+
+let test_r5_fires () =
+  check_hits "R5 on stdout printers in lib/"
+    [ ("R5", 1); ("R5", 2) ]
+    (lint ~logical:"lib/experiments/r5_print.ml" "r5_print.ml")
+
+let test_r5_zones () =
+  check_hits "R5 inactive outside lib/" []
+    (lint ~logical:"bin/r5_print.ml" "r5_print.ml")
+
+(* ---- suppression: [@lint.allow] ---- *)
+
+let test_allow_attr () =
+  (* Expression, binding, and file-wide allows each suppress exactly
+     their target; the unannotated fold on line 2 still fires. *)
+  check_hits "attribute suppresses exactly its target"
+    [ ("R2", 2) ]
+    (lint ~logical:"lib/core/allow_attr.ml" "allow_attr.ml")
+
+(* ---- parse failures ---- *)
+
+let test_parse_error () =
+  match lint ~logical:"lib/core/bad_syntax.ml" "bad_syntax.ml" with
+  | [ f ] -> Alcotest.(check string) "PARSE rule" "PARSE" f.Finding.rule
+  | fs ->
+      Alcotest.failf "expected exactly one PARSE finding, got %d" (List.length fs)
+
+(* ---- baseline semantics ---- *)
+
+let test_baseline_suppresses_exactly () =
+  let findings = lint ~logical:"lib/core/r2_hash_order.ml" "r2_hash_order.ml" in
+  let first = List.hd findings in
+  let baseline =
+    Lint_baseline.parse_string
+      (Printf.sprintf "# comment\n\n%s\n" (Finding.baseline_key first))
+  in
+  let fresh, accepted =
+    List.partition (fun f -> not (Lint_baseline.mem baseline f)) findings
+  in
+  check_hits "only the keyed finding is accepted" [ ("R2", 1) ] accepted;
+  check_hits "the other finding stays fresh" [ ("R2", 2) ] fresh
+
+let test_baseline_stale () =
+  let findings = lint ~logical:"lib/core/r2_hash_order.ml" "r2_hash_order.ml" in
+  let baseline =
+    Lint_baseline.parse_string "R2 lib/core/r2_hash_order.ml:999\n"
+  in
+  Alcotest.(check (list string))
+    "unmatched entries are stale"
+    [ "R2 lib/core/r2_hash_order.ml:999" ]
+    (Lint_baseline.stale baseline findings)
+
+let () =
+  Alcotest.run "repolint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 fires" `Quick test_r1_fires;
+          Alcotest.test_case "R1 zones" `Quick test_r1_zones;
+          Alcotest.test_case "R2 fires" `Quick test_r2_fires;
+          Alcotest.test_case "R2 sort-feed exemption" `Quick test_r2_sort_feed;
+          Alcotest.test_case "R3" `Quick test_r3;
+          Alcotest.test_case "R4 fires" `Quick test_r4_fires;
+          Alcotest.test_case "R4 zones" `Quick test_r4_zones;
+          Alcotest.test_case "R5 fires" `Quick test_r5_fires;
+          Alcotest.test_case "R5 zones" `Quick test_r5_zones;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "[@lint.allow]" `Quick test_allow_attr;
+          Alcotest.test_case "baseline keys" `Quick
+            test_baseline_suppresses_exactly;
+          Alcotest.test_case "stale baseline" `Quick test_baseline_stale;
+        ] );
+      ( "robustness",
+        [ Alcotest.test_case "parse error" `Quick test_parse_error ] );
+    ]

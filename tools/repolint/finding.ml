@@ -1,0 +1,40 @@
+(* A single lint finding: a named rule firing at a source location.  The
+   baseline key deliberately omits the column and message so accepted
+   legacy sites survive message-wording tweaks but not code motion. *)
+
+type t = {
+  rule : string; (* "R1" .. "R5", or "PARSE" for unreadable files *)
+  file : string; (* repo-relative path, '/'-separated *)
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~rule ~file ~line ~col message = { rule; file; line; col; message }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let baseline_key t = Printf.sprintf "%s %s:%d" t.rule t.file t.line
+
+let to_string t =
+  Printf.sprintf "%s:%d:%d: %s %s" t.file t.line t.col t.rule t.message
+
+let to_json ?(baselined = false) t =
+  Obs.Json.Obj
+    [
+      ("rule", Obs.Json.Str t.rule);
+      ("file", Obs.Json.Str t.file);
+      ("line", Obs.Json.Num (float_of_int t.line));
+      ("col", Obs.Json.Num (float_of_int t.col));
+      ("message", Obs.Json.Str t.message);
+      ("baselined", Obs.Json.Bool baselined);
+    ]

@@ -1,0 +1,247 @@
+(* Parsetree traversal wiring the rules to source files.
+
+   The engine walks each compilation unit with an [Ast_iterator] carrying
+   mutable context: a stack of [@lint.allow "Rn"] scopes (expression and
+   let-binding attributes, plus file-wide [@@@lint.allow]), and a set of
+   "sanctioned" source ranges recorded by parent nodes before descending —
+   e.g. the left-hand side of [Hashtbl.fold ... |> List.sort] is sanctioned
+   for R2, and a [compare] applied to literals only is sanctioned for R3.
+   Parents are visited before children, so sanctions are always registered
+   before the identifiers they cover are checked. *)
+
+open Parsetree
+
+type ctx = {
+  path : string; (* repo-relative, used for rule scoping and reporting *)
+  mutable allow_stack : string list list;
+  mutable file_allows : string list;
+  mutable sanctioned : (string * int * int) list; (* rule, cnum range *)
+  mutable findings : Finding.t list;
+}
+
+let line_col (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+
+let allowed ctx rule =
+  List.exists (List.exists (String.equal rule)) ctx.allow_stack
+  || List.exists (String.equal rule) ctx.file_allows
+
+let sanctioned ctx rule (loc : Location.t) =
+  List.exists
+    (fun (r, s, e) ->
+      String.equal r rule && s <= loc.loc_start.pos_cnum
+      && loc.loc_end.pos_cnum <= e)
+    ctx.sanctioned
+
+let sanction ctx rule (loc : Location.t) =
+  ctx.sanctioned <-
+    (rule, loc.loc_start.pos_cnum, loc.loc_end.pos_cnum) :: ctx.sanctioned
+
+let report ctx ~rule ~loc msg =
+  if
+    Lint_rules.active_for ctx.path rule
+    && (not (allowed ctx rule))
+    && not (sanctioned ctx rule loc)
+  then begin
+    let line, col = line_col loc in
+    ctx.findings <-
+      Finding.make ~rule ~file:ctx.path ~line ~col msg :: ctx.findings
+  end
+
+(* ---- attribute handling ---- *)
+
+let allow_rules_of_attrs attrs =
+  List.concat_map
+    (fun a ->
+      if String.equal a.attr_name.Location.txt "lint.allow" then
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
+                      _ );
+                _;
+              };
+            ] ->
+            String.split_on_char ' ' s
+            |> List.concat_map (String.split_on_char ',')
+            |> List.filter (fun r -> not (String.equal r ""))
+        | _ -> []
+      else [])
+    attrs
+
+(* ---- expression shape predicates ---- *)
+
+let ident_of e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; loc } -> Some (String.concat "." (Longident.flatten txt), loc)
+  | _ -> None
+
+let rec literal_like e =
+  match e.pexp_desc with
+  | Pexp_constant _ -> true
+  | Pexp_construct (_, None) -> true (* (), [], None, true, nullary ctors *)
+  | Pexp_variant (_, None) -> true
+  | Pexp_constraint (_, _) -> true (* type ascription = type is known *)
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Longident.Lident ("~-" | "~-." | "-" | "-."); _ }; _ },
+        [ (_, arg) ]) ->
+      literal_like arg
+  | _ -> false
+
+let structural e =
+  match e.pexp_desc with
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _
+  | Pexp_construct (_, Some _)
+  | Pexp_variant (_, Some _) ->
+      true
+  | _ -> false
+
+let sort_sinkish e =
+  match e.pexp_desc with
+  | Pexp_ident _ -> (
+      match ident_of e with
+      | Some (n, _) -> Lint_rules.sort_sink n
+      | None -> false)
+  | Pexp_apply (fn, _) -> (
+      match ident_of fn with
+      | Some (n, _) -> Lint_rules.sort_sink n
+      | None -> false)
+  | _ -> false
+
+(* ---- per-node checks ---- *)
+
+let check_ident ctx name loc =
+  if Lint_rules.r1_forbidden name then
+    report ctx ~rule:"R1" ~loc
+      (Printf.sprintf
+         "non-deterministic primitive %s; thread a Rng.t (lib/rng) or use \
+          Obs.Trace.now" name);
+  if Lint_rules.r2_forbidden name then
+    report ctx ~rule:"R2" ~loc
+      (Printf.sprintf
+         "%s leaks hash-order; sort the result or mark the site with \
+          [@lint.allow \"R2\"]" name);
+  if Lint_rules.r3_comparator name then
+    report ctx ~rule:"R3" ~loc
+      (Printf.sprintf
+         "polymorphic %s; use Int.compare/Float.compare/typed min-max" name);
+  if Lint_rules.r4_forbidden name then
+    report ctx ~rule:"R4" ~loc
+      (Printf.sprintf
+         "partial accessor %s in a planner path; use the _opt variant or a \
+          match that names the missing node/variable" name);
+  if Lint_rules.r5_forbidden name then
+    report ctx ~rule:"R5" ~loc
+      (Printf.sprintf
+         "stdout printing (%s) in lib/; take a Format.formatter argument \
+          instead" name)
+
+let check_apply ctx fn args =
+  (match ident_of fn with
+  | Some (name, floc) -> (
+      let name = Lint_rules.strip_stdlib name in
+      (match (name, args) with
+      (* [fold ... |> List.sort ...] and [List.sort ... @@ fold ...] are
+         order-safe: the sink re-establishes a canonical order. *)
+      | "|>", [ (_, lhs); (_, rhs) ] when sort_sinkish rhs ->
+          sanction ctx "R2" lhs.pexp_loc
+      | "@@", [ (_, lhs); (_, rhs) ] when sort_sinkish lhs ->
+          sanction ctx "R2" rhs.pexp_loc
+      | _ when Lint_rules.sort_sink name ->
+          List.iter (fun (_, a) -> sanction ctx "R2" a.pexp_loc) args
+      | _ -> ());
+      (* compare/min/max applied to literals only is harmless. *)
+      if
+        Lint_rules.r3_comparator name && args <> []
+        && List.for_all (fun (_, a) -> literal_like a) args
+      then sanction ctx "R3" floc;
+      (* =/<> on a syntactic structure is a guaranteed polymorphic
+         structural comparison. *)
+      match (name, args) with
+      | ("=" | "<>"), [ (_, a); (_, b) ] ->
+          if
+            (structural a || structural b)
+            && not (literal_like a || literal_like b)
+          then
+            report ctx ~rule:"R3" ~loc:floc
+              "polymorphic =/<> on a structural value (tuple, record or \
+               constructor); compare fields with explicit comparators"
+      | _ -> ())
+  | None -> ())
+
+(* ---- the iterator ---- *)
+
+let make_iterator ctx =
+  let super = Ast_iterator.default_iterator in
+  let expr self e =
+    let allows = allow_rules_of_attrs e.pexp_attributes in
+    ctx.allow_stack <- allows :: ctx.allow_stack;
+    (match e.pexp_desc with
+    | Pexp_apply (fn, args) -> check_apply ctx fn args
+    | _ -> ());
+    (match ident_of e with
+    | Some (name, loc) -> check_ident ctx name loc
+    | None -> ());
+    super.expr self e;
+    ctx.allow_stack <- List.tl ctx.allow_stack
+  in
+  let value_binding self vb =
+    let allows = allow_rules_of_attrs vb.pvb_attributes in
+    ctx.allow_stack <- allows :: ctx.allow_stack;
+    super.value_binding self vb;
+    ctx.allow_stack <- List.tl ctx.allow_stack
+  in
+  let structure_item self it =
+    (match it.pstr_desc with
+    | Pstr_attribute a ->
+        ctx.file_allows <- allow_rules_of_attrs [ a ] @ ctx.file_allows
+    | _ -> ());
+    super.structure_item self it
+  in
+  { super with expr; value_binding; structure_item }
+
+(* ---- entry points ---- *)
+
+let parse_findings ctx exn =
+  (* Parse/lex errors become findings so an unreadable file cannot pass. *)
+  let loc =
+    match exn with
+    | Syntaxerr.Error e -> Some (Syntaxerr.location_of_error e)
+    | Lexer.Error (_, loc) -> Some loc
+    | _ -> None
+  in
+  let line, col = match loc with Some l -> line_col l | None -> (1, 0) in
+  ctx.findings <-
+    Finding.make ~rule:"PARSE" ~file:ctx.path ~line ~col
+      (Printf.sprintf "cannot parse: %s" (Printexc.to_string exn))
+    :: ctx.findings
+
+let lint_source ~path source =
+  let ctx =
+    { path; allow_stack = []; file_allows = []; sanctioned = []; findings = [] }
+  in
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  let iter = make_iterator ctx in
+  (try
+     if Filename.check_suffix path ".mli" then
+       iter.signature iter (Parse.interface lexbuf)
+     else iter.structure iter (Parse.implementation lexbuf)
+   with exn -> parse_findings ctx exn);
+  List.sort Finding.compare ctx.findings
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* [path] is the repo-relative logical path (rule scoping); [file] is
+   where to read the bytes.  They coincide for normal runs; tests use a
+   fixture file with a synthetic logical path. *)
+let lint_file ?file path =
+  let file = match file with Some f -> f | None -> path in
+  lint_source ~path (read_file file)

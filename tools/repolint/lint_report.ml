@@ -1,0 +1,77 @@
+(* Human and JSON rendering of a lint run. *)
+
+type run = {
+  files_scanned : int;
+  fresh : Finding.t list; (* findings that fail the run *)
+  baselined : Finding.t list; (* accepted legacy findings *)
+  stale_baseline : string list; (* baseline entries matching nothing *)
+}
+
+let count_by_rule findings =
+  List.fold_left
+    (fun acc (f : Finding.t) ->
+      let n =
+        match List.assoc_opt f.Finding.rule acc with Some n -> n | None -> 0
+      in
+      (f.Finding.rule, n + 1) :: List.remove_assoc f.Finding.rule acc)
+    [] findings
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let print_human ppf run =
+  List.iter
+    (fun f -> Format.fprintf ppf "%s@." (Finding.to_string f))
+    run.fresh;
+  List.iter
+    (fun f -> Format.fprintf ppf "%s (baselined)@." (Finding.to_string f))
+    run.baselined;
+  List.iter
+    (fun e -> Format.fprintf ppf "stale baseline entry: %s@." e)
+    run.stale_baseline;
+  let by_rule = count_by_rule (run.fresh @ run.baselined) in
+  Format.fprintf ppf "repolint: %d file%s scanned, %d finding%s (%d fresh, %d baselined%s)@."
+    run.files_scanned
+    (if run.files_scanned = 1 then "" else "s")
+    (List.length run.fresh + List.length run.baselined)
+    (if List.length run.fresh + List.length run.baselined = 1 then "" else "s")
+    (List.length run.fresh) (List.length run.baselined)
+    (match run.stale_baseline with
+    | [] -> ""
+    | l -> Printf.sprintf ", %d stale baseline" (List.length l));
+  if by_rule <> [] then begin
+    Format.fprintf ppf "by rule:";
+    List.iter (fun (r, n) -> Format.fprintf ppf " %s=%d" r n) by_rule;
+    Format.fprintf ppf "@."
+  end
+
+let to_json run =
+  let findings =
+    List.map (fun f -> Finding.to_json ~baselined:false f) run.fresh
+    @ List.map (fun f -> Finding.to_json ~baselined:true f) run.baselined
+  in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "repolint/1");
+      ("files_scanned", Obs.Json.Num (float_of_int run.files_scanned));
+      ("findings", Obs.Json.List findings);
+      ( "summary",
+        Obs.Json.Obj
+          [
+            ("fresh", Obs.Json.Num (float_of_int (List.length run.fresh)));
+            ( "baselined",
+              Obs.Json.Num (float_of_int (List.length run.baselined)) );
+            ( "by_rule",
+              Obs.Json.Obj
+                (List.map
+                   (fun (r, n) -> (r, Obs.Json.Num (float_of_int n)))
+                   (count_by_rule (run.fresh @ run.baselined))) );
+            ( "stale_baseline",
+              Obs.Json.List
+                (List.map (fun e -> Obs.Json.Str e) run.stale_baseline) );
+          ] );
+    ]
+
+let write_json file run =
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Obs.Json.to_string_pretty (to_json run)))

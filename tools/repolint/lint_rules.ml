@@ -1,0 +1,134 @@
+(* The rule set.  Each rule has an id (the suppression/baseline key), a
+   one-line description (shown in reports and DESIGN.md), and a syntactic
+   scope derived from the file's repo-relative path.
+
+   Rules match on flattened identifier paths ("Hashtbl.fold", "compare").
+   This is a Parsetree-level check: no type information is available, so
+   each rule's predicate is deliberately syntactic and documented as such
+   in DESIGN.md ("Static analysis"). *)
+
+let under prefix path =
+  String.length path >= String.length prefix
+  && String.equal (String.sub path 0 (String.length prefix)) prefix
+
+(* Path zones.  Paths are repo-relative with '/' separators. *)
+let in_obs path = under "lib/obs/" path
+let in_bench path = under "bench/" path
+let in_lib path = under "lib/" path
+let in_planner_paths path = under "lib/core/" path || under "lib/lp/" path
+
+type rule = { id : string; title : string; description : string }
+
+let all =
+  [
+    {
+      id = "R1";
+      title = "determinism";
+      description =
+        "wall-clock and hashing entropy sources (Random.*, Sys.time, \
+         Unix.gettimeofday, Hashtbl.hash) are forbidden outside lib/obs and \
+         bench/; use lib/rng for randomness and Obs.Trace.now for timestamps";
+    };
+    {
+      id = "R2";
+      title = "ordered-iteration";
+      description =
+        "Hashtbl.iter/Hashtbl.fold leak hash-order into results; sort the \
+         output (a fold feeding List.sort/Array.sort is accepted) or mark \
+         the site order-insensitive with [@lint.allow \"R2\"]";
+    };
+    {
+      id = "R3";
+      title = "no-polymorphic-compare";
+      description =
+        "the polymorphic comparators compare/min/max (which never \
+         specialize when passed as closures) and =/<> applied to syntactic \
+         structures (tuples, records, constructor applications, arrays) \
+         are forbidden; use Float.equal/Int.compare/explicit comparators";
+    };
+    {
+      id = "R4";
+      title = "totality";
+      description =
+        "partial accessors (List.hd, List.nth, Option.get, Hashtbl.find) \
+         are forbidden in planner paths (lib/core, lib/lp); use _opt \
+         variants or a match that raises with the node/variable name";
+    };
+    {
+      id = "R5";
+      title = "io-hygiene";
+      description =
+        "stdout printing (print_endline, Printf.printf, Format.printf, ...) \
+         is forbidden in lib/; take a Format.formatter or emit through \
+         lib/obs exporters";
+    };
+  ]
+
+let find id = List.find_opt (fun r -> String.equal r.id id) all
+
+(* ---- per-rule identifier tables ---- *)
+
+let strip_stdlib name =
+  if under "Stdlib." name then
+    String.sub name 7 (String.length name - 7)
+  else name
+
+let r1_forbidden name =
+  let name = strip_stdlib name in
+  under "Random." name
+  || List.exists (String.equal name)
+       [ "Sys.time"; "Unix.gettimeofday"; "Hashtbl.hash"; "Hashtbl.seeded_hash" ]
+
+let r2_forbidden name =
+  let name = strip_stdlib name in
+  List.exists (String.equal name) [ "Hashtbl.iter"; "Hashtbl.fold" ]
+
+let r3_comparator name =
+  let name = strip_stdlib name in
+  List.exists (String.equal name) [ "compare"; "min"; "max" ]
+
+let r4_forbidden name =
+  let name = strip_stdlib name in
+  List.exists (String.equal name)
+    [ "List.hd"; "List.nth"; "Option.get"; "Hashtbl.find" ]
+
+let r5_forbidden name =
+  let name = strip_stdlib name in
+  List.exists (String.equal name)
+    [
+      "print_endline";
+      "print_string";
+      "print_newline";
+      "print_int";
+      "print_float";
+      "print_char";
+      "print_bytes";
+      "Printf.printf";
+      "Format.printf";
+      "Format.print_string";
+      "Format.print_newline";
+    ]
+
+(* Sort sinks that make a feeding Hashtbl.fold/iter order-safe. *)
+let sort_sink name =
+  let name = strip_stdlib name in
+  List.exists (String.equal name)
+    [
+      "List.sort";
+      "List.stable_sort";
+      "List.fast_sort";
+      "List.sort_uniq";
+      "Array.sort";
+      "Array.stable_sort";
+      "Array.fast_sort";
+    ]
+
+(* Which rules apply to a file, given its repo-relative path. *)
+let active_for path rule_id =
+  match rule_id with
+  | "R1" -> not (in_obs path || in_bench path)
+  | "R2" -> true
+  | "R3" -> true
+  | "R4" -> in_planner_paths path
+  | "R5" -> in_lib path
+  | _ -> true

@@ -1,0 +1,105 @@
+(* repolint: AST-level invariant checker for determinism, float-safety and
+   partiality.  See DESIGN.md "Static analysis" for the rule table.
+
+   Usage:
+     repolint [--baseline FILE] [--json FILE] [--rules] [DIR|FILE ...]
+
+   Directories default to lib bin bench tools, scanned recursively for
+   .ml/.mli in sorted order.  Exit status is 0 iff every finding is
+   covered by the baseline file. *)
+
+open Repolint_lib
+
+let default_dirs = [ "lib"; "bin"; "bench"; "tools" ]
+
+let normalize path =
+  let path =
+    if String.length path > 2 && String.equal (String.sub path 0 2) "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  String.map (fun c -> if c = '\\' then '/' else c) path
+
+let skip_dir name =
+  String.equal name "_build" || String.equal name "_opam"
+  || (String.length name > 0 && name.[0] = '.')
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if skip_dir entry then acc
+           else walk (Filename.concat path entry) acc)
+         acc
+  else if
+    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then normalize path :: acc
+  else acc
+
+let usage () =
+  prerr_endline
+    "usage: repolint [--baseline FILE] [--json FILE] [--rules] [DIR|FILE ...]";
+  exit 2
+
+let print_rules () =
+  List.iter
+    (fun (r : Lint_rules.rule) ->
+      Printf.printf "%s %-24s %s\n" r.Lint_rules.id r.Lint_rules.title
+        r.Lint_rules.description)
+    Lint_rules.all
+
+let () =
+  let baseline_file = ref "lint_baseline.txt" in
+  let json_file = ref "" in
+  let dirs = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--baseline" :: f :: rest ->
+        baseline_file := f;
+        parse_args rest
+    | "--json" :: f :: rest ->
+        json_file := f;
+        parse_args rest
+    | "--rules" :: _ ->
+        print_rules ();
+        exit 0
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | dir :: rest ->
+        dirs := dir :: !dirs;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let dirs = match List.rev !dirs with [] -> default_dirs | l -> l in
+  let files =
+    List.fold_left
+      (fun acc d ->
+        if Sys.file_exists d then walk d acc
+        else begin
+          Printf.eprintf "repolint: no such file or directory: %s\n" d;
+          exit 2
+        end)
+      [] dirs
+    |> List.sort_uniq String.compare
+  in
+  let findings =
+    List.concat_map (fun f -> Lint_engine.lint_file f) files
+    |> List.sort Finding.compare
+  in
+  let baseline = Lint_baseline.load !baseline_file in
+  let fresh, baselined =
+    List.partition (fun f -> not (Lint_baseline.mem baseline f)) findings
+  in
+  let run =
+    {
+      Lint_report.files_scanned = List.length files;
+      fresh;
+      baselined;
+      stale_baseline = Lint_baseline.stale baseline findings;
+    }
+  in
+  Lint_report.print_human Format.std_formatter run;
+  if not (String.equal !json_file "") then Lint_report.write_json !json_file run;
+  exit (if fresh = [] then 0 else 1)
