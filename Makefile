@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test stress bench bench-quick bench-json bench-certify \
-	bench-telemetry gate lint examples clean
+	bench-telemetry bench-guarantee guarantee gate lint examples clean
 
 all: build
 
@@ -41,6 +41,20 @@ bench-certify:
 # (OBS_TRACE.jsonl / OBS_TRACE.csv) at the repo root.
 bench-telemetry:
 	dune exec bench/main.exe -- telemetry
+
+# Guarantee trade-off record: the certified (eps, delta) bound along a
+# budget ladder plus one escalation run; writes BENCH_GUARANTEE.json at
+# the repo root.
+bench-guarantee:
+	dune exec bench/main.exe -- guarantee
+
+# Statistical bound-violation sweep (the certified-guarantee harness) with
+# its JSON summary written next to the repo root.  Tune with
+# GUARANTEE_SEEDS / GUARANTEE_SEED_OFFSET, e.g.
+#   make guarantee GUARANTEE_SEEDS=500 GUARANTEE_SEED_OFFSET=1000
+guarantee:
+	GUARANTEE_SUMMARY=$(CURDIR)/_guarantee_sweep.json \
+	  dune exec test/core/test_guarantee.exe
 
 # Perf-regression gate: regenerate both perf records into _gate_fresh_*
 # scratch files (never over the committed baselines) and compare each

@@ -585,6 +585,132 @@ let run_telemetry_bench path =
   output_char oc '\n';
   close_out oc
 
+(* ---- guarantee trade-off record (guarantee -> BENCH_GUARANTEE.json) ----
+
+   The certified (eps, delta) bound as a function of energy budget: one
+   fixed instance, a budget ladder, two confidence levels.  Each rung
+   plans on one sample window and certifies on a disjoint one — the same
+   discipline Robust_plan.plan_with_guarantee enforces — so the recorded
+   eps is honest certified slack, not a resubstitution estimate.  A final
+   escalation run records what budget the ladder had to reach to certify
+   a fixed (eps, delta) target, the curve read in reverse. *)
+
+let run_guarantee_bench path =
+  Format.printf "@.######## Guarantee trade-off -> %s ########@." path;
+  let oc = open_out path in
+  let n = if !quick then 25 else 40 in
+  let k = if !quick then 5 else 8 in
+  let m = if !quick then 60 else 120 in
+  let rng = Rng.create (!seed * 7919) in
+  let layout = Sensor.Placement.uniform rng ~n ~width:200. ~height:200. () in
+  let range = Sensor.Topology.min_connecting_range layout *. 1.25 in
+  let topo = Sensor.Topology.build layout ~range in
+  let cost = Sensor.Cost.of_mica2 topo Sensor.Mica2.default in
+  let field =
+    Sampling.Field.random_gaussian rng ~n ~mean_lo:20. ~mean_hi:30. ~sigma_lo:1.
+      ~sigma_hi:4.
+  in
+  let plan_window = Sampling.Sample_set.draw rng field ~k ~count:m in
+  let cert_window = Sampling.Sample_set.draw rng field ~k ~count:m in
+  let anchor =
+    Prospector.Plan.expected_collection_mj topo cost
+      (Prospector.Proof_exec.min_bandwidth_plan topo)
+  in
+  let fractions = [ 0.2; 0.35; 0.5; 0.7; 0.9; 1.1 ] in
+  let deltas = [ 1e-2; 1e-6 ] in
+  let curve =
+    List.concat_map
+      (fun delta ->
+        List.map
+          (fun frac ->
+            let budget = frac *. anchor in
+            let r = Prospector.Lp_lf.plan topo cost plan_window ~budget ~k in
+            let g =
+              Prospector.Guarantee.compute ~delta
+                ?report:r.Prospector.Lp_lf.certify
+                ~objective:r.Prospector.Lp_lf.lp_objective topo cost
+                r.Prospector.Lp_lf.plan ~k cert_window
+            in
+            Format.printf
+              "delta=%g budget=%6.1f mJ: accuracy %.3f, eps %.3f, certified \
+               lower %.3f (%s)@."
+              delta budget g.Prospector.Guarantee.empirical_accuracy
+              g.Prospector.Guarantee.eps g.Prospector.Guarantee.certified_lower
+              (Prospector.Guarantee.family_to_string
+                 g.Prospector.Guarantee.family);
+            Obs.Json.Obj
+              [
+                ("delta", Obs.Json.Num delta);
+                ("budget_mj", Obs.Json.Num budget);
+                ("budget_fraction_of_full", Obs.Json.Num frac);
+                ("guarantee", Prospector.Guarantee.to_json g);
+              ])
+          fractions)
+      deltas
+  in
+  (* The curve read in reverse: fix the target, let the ladder find the
+     budget. *)
+  let eps_target = 0.35 and delta_target = 1e-3 in
+  let both =
+    Sampling.Sample_set.of_values ~k
+      (Array.append plan_window.Sampling.Sample_set.values
+         cert_window.Sampling.Sample_set.values)
+  in
+  let esc =
+    Prospector.Robust_plan.plan_with_guarantee ~eps:eps_target
+      ~delta:delta_target
+      ~planner:(fun ~samples ~budget ->
+        Prospector.Lp_lf.plan topo cost samples ~budget ~k)
+      ~describe:(fun r ->
+        ( r.Prospector.Lp_lf.plan,
+          r.Prospector.Lp_lf.certify,
+          Some r.Prospector.Lp_lf.lp_objective ))
+      topo cost ~k both
+      ~budget:(0.15 *. anchor)
+  in
+  let chosen = esc.Prospector.Robust_plan.chosen in
+  Format.printf
+    "escalation to (eps = %g, delta = %g): attained=%b after %d raises, \
+     budget %.1f mJ, certified lower %.3f@."
+    eps_target delta_target esc.Prospector.Robust_plan.attained
+    esc.Prospector.Robust_plan.escalations chosen.Prospector.Robust_plan.budget
+    chosen.Prospector.Robust_plan.guarantee
+      .Prospector.Guarantee.certified_lower;
+  let record =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "bench-guarantee/1");
+        ("seed", Obs.Json.Num (float_of_int !seed));
+        ("quick", Obs.Json.Bool !quick);
+        ( "instance",
+          Obs.Json.Obj
+            [
+              ("n", Obs.Json.Num (float_of_int n));
+              ("k", Obs.Json.Num (float_of_int k));
+              ("window", Obs.Json.Num (float_of_int m));
+              ("full_collection_mj", Obs.Json.Num anchor);
+            ] );
+        ("curve", Obs.Json.List curve);
+        ( "escalation",
+          Obs.Json.Obj
+            [
+              ("target_eps", Obs.Json.Num eps_target);
+              ("target_delta", Obs.Json.Num delta_target);
+              ("attained", Obs.Json.Bool esc.Prospector.Robust_plan.attained);
+              ( "escalations",
+                Obs.Json.Num
+                  (float_of_int esc.Prospector.Robust_plan.escalations) );
+              ( "chosen_budget_mj",
+                Obs.Json.Num chosen.Prospector.Robust_plan.budget );
+              ( "guarantee",
+                Prospector.Guarantee.to_json
+                  chosen.Prospector.Robust_plan.guarantee );
+            ] );
+      ]
+  in
+  output_string oc (Obs.Json.to_string_pretty record);
+  close_out oc
+
 let all_experiments =
   [
     ("table1", `Plain (fun () -> Experiments.Table1.run ()));
@@ -606,6 +732,8 @@ let all_experiments =
     ("certify", `Plain (fun () -> run_certify_bench (out_or "BENCH_PR3.json")));
     ( "telemetry",
       `Plain (fun () -> run_telemetry_bench (out_or "BENCH_PR4.json")) );
+    ( "guarantee",
+      `Plain (fun () -> run_guarantee_bench (out_or "BENCH_GUARANTEE.json")) );
   ]
 
 let usage () =
@@ -618,7 +746,7 @@ let usage () =
     "--json PATH writes machine-readable LP solve-time and warm-start\n\
      results to PATH; with no experiment names it runs only that pass.\n\
      --out PATH overrides where the record-writing experiments (certify,\n\
-     telemetry) write their JSON.";
+     telemetry, guarantee) write their JSON.";
   exit 1
 
 let () =

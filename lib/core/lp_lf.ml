@@ -9,6 +9,8 @@ type result = {
   budget_shadow_price : float;
   basis : Lp.Model.basis option;
   provenance : Robust_plan.provenance;
+  certify : Lp.Certify.report option;
+  guarantee : Guarantee.t option;
 }
 
 let build topo cost samples ~budget ~k =
@@ -124,8 +126,8 @@ let traced_plan ~topo ~budget ~k f =
     r
   end
 
-let plan ?warm_start ?max_lp_iterations ?lp_deadline topo cost samples ~budget
-    ~k =
+let plan_plain ?warm_start ?max_lp_iterations ?lp_deadline topo cost samples
+    ~budget ~k =
   let n = topo.Sensor.Topology.n in
   let root = topo.Sensor.Topology.root in
   traced_plan ~topo ~budget ~k @@ fun () ->
@@ -160,6 +162,8 @@ let plan ?warm_start ?max_lp_iterations ?lp_deadline topo cost samples ~budget
         budget_shadow_price = 0.;
         basis = None;
         provenance = Robust_plan.Fell_back_greedy;
+        certify = None;
+        guarantee = None;
       }
   | Ok r ->
   let sol = r.Robust_plan.solution in
@@ -181,4 +185,35 @@ let plan ?warm_start ?max_lp_iterations ?lp_deadline topo cost samples ~budget
     budget_shadow_price;
     basis = sol.Lp.Model.basis;
     provenance = r.Robust_plan.provenance;
+    certify = Some r.Robust_plan.report;
+    guarantee = None;
   }
+
+let plan ?warm_start ?max_lp_iterations ?lp_deadline ?guarantee topo cost
+    samples ~budget ~k =
+  match guarantee with
+  | None ->
+      plan_plain ?warm_start ?max_lp_iterations ?lp_deadline topo cost samples
+        ~budget ~k
+  | Some (eps, delta) ->
+      (* Escalation rungs re-solve the same LP shape with a perturbed
+         budget row: chain each rung's final basis into the next so the
+         ladder rides the warm-start fast path. *)
+      let warm = ref warm_start in
+      let g =
+        Robust_plan.plan_with_guarantee ~eps ~delta
+          ~planner:(fun ~samples ~budget ->
+            let r =
+              plan_plain ?warm_start:!warm ?max_lp_iterations ?lp_deadline topo
+                cost samples ~budget ~k
+            in
+            (match r.basis with Some _ -> warm := r.basis | None -> ());
+            r)
+          ~describe:(fun r -> (r.plan, r.certify, Some r.lp_objective))
+          topo cost ~k samples ~budget
+      in
+      let chosen = g.Robust_plan.chosen in
+      {
+        chosen.Robust_plan.result with
+        guarantee = Some chosen.Robust_plan.guarantee;
+      }

@@ -30,12 +30,19 @@ type result = {
           with a perturbed budget) to reuse this solve's final basis *)
   provenance : Robust_plan.provenance;
       (** which stage of the certified fallback chain produced the plan *)
+  certify : Lp.Certify.report option;
+      (** the PR-3 certification that admitted the LP solution; [None] for
+          the greedy fallback (which makes no LP claim) *)
+  guarantee : Guarantee.t option;
+      (** the certified (ε, δ) bound attached to the plan; present exactly
+          when the [?guarantee] target was supplied *)
 }
 
 val plan :
   ?warm_start:Lp.Model.basis ->
   ?max_lp_iterations:int ->
   ?lp_deadline:float ->
+  ?guarantee:float * float ->
   Sensor.Topology.t ->
   Sensor.Cost.t ->
   Sampling.Sample_set.t ->
@@ -48,7 +55,17 @@ val plan :
     bound the LP stages; when both fail certification the plan is the
     greedy selection shipped without local filtering (provenance
     {!Robust_plan.Fell_back_greedy}) and the call never raises on solver
-    failure. *)
+    failure.
+
+    [guarantee:(eps, delta)] requests a certified accuracy target and
+    routes planning through {!Robust_plan.plan_with_guarantee}: the
+    window is split into a planning half and a certification half, the
+    budget escalates (warm-starting each rung from the previous one)
+    until the bound "expected accuracy >= [1 - eps] w.p. >= [1 - delta]"
+    is met, and the result carries the (best) certified bound in
+    [guarantee].  Check attainment with {!Guarantee.meets} — an
+    unattainable target still returns the best attempt rather than
+    raising. *)
 
 val lp_model :
   Sensor.Topology.t ->

@@ -6,9 +6,12 @@ type t = {
   mutable warm : Lp.Model.basis option;
 }
 
-type decision = Kept | Disseminated of Plan.t
+type decision =
+  | Kept
+  | Disseminated of { plan : Plan.t; guarantee : Guarantee.t option }
 
 let m_considered = Obs.Metrics.counter "replan.considered"
+let m_guarantee_refused = Obs.Metrics.counter "replan.guarantee_refused"
 let m_warm_hits = Obs.Metrics.counter "replan.warm_hits"
 let m_warm_misses = Obs.Metrics.counter "replan.warm_misses"
 let m_disseminated = Obs.Metrics.counter "replan.disseminated"
@@ -39,23 +42,36 @@ let expected_accuracy topo cost plan ~k samples =
   in
   total /. float_of_int (Array.length epochs)
 
-let consider ?max_lp_iterations ?lp_deadline t topo cost mica samples ~k
-    ~budget =
+let consider ?max_lp_iterations ?lp_deadline ?guarantee t topo cost mica
+    samples ~k ~budget =
   (* Successive epochs re-solve nearly identical LPs: reuse the previous
      epoch's final basis.  When the sample window changes the LP's shape the
      token is silently ignored and the solve starts cold. *)
   Obs.Metrics.incr m_considered;
   Obs.Metrics.incr (if t.warm <> None then m_warm_hits else m_warm_misses);
   let r =
-    Lp_lf.plan ?warm_start:t.warm ?max_lp_iterations ?lp_deadline topo cost
-      samples ~budget ~k
+    Lp_lf.plan ?warm_start:t.warm ?max_lp_iterations ?lp_deadline ?guarantee
+      topo cost samples ~budget ~k
   in
   (* A fallback result carries no basis; keep the previous token so the
      next epoch can still warm-start from the last certified solve. *)
   (match r.Lp_lf.basis with Some _ -> t.warm <- r.Lp_lf.basis | None -> ());
+  let target_met =
+    match (guarantee, r.Lp_lf.guarantee) with
+    | None, _ -> true
+    | Some (eps, delta), Some g -> Guarantee.meets g ~eps ~delta
+    | Some _, None -> false
+  in
   if r.Lp_lf.provenance = Robust_plan.Fell_back_greedy then begin
     (* Never disseminate an uncertified candidate: the greedy fallback is a
        safety net for answering queries, not a plan worth an install. *)
+    Obs.Metrics.incr m_kept;
+    Kept
+  end
+  else if not target_met then begin
+    (* The (eps, delta) target could not be certified even after budget
+       escalation: an unbacked promise is never disseminated. *)
+    Obs.Metrics.incr m_guarantee_refused;
     Obs.Metrics.incr m_kept;
     Kept
   end
@@ -76,7 +92,18 @@ let consider ?max_lp_iterations ?lp_deadline t topo cost mica samples ~k
     t.plan <- candidate;
     t.replans <- t.replans + 1;
     Obs.Metrics.incr m_disseminated;
-    Disseminated candidate
+    (* Every disseminated plan ships with its certified bound: the
+       escalation ladder's bound when a target was requested, otherwise a
+       default-confidence bound on the current window. *)
+    let g =
+      match r.Lp_lf.guarantee with
+      | Some _ as g -> g
+      | None ->
+          Some
+            (Guarantee.compute ?report:r.Lp_lf.certify
+               ~objective:r.Lp_lf.lp_objective topo cost candidate ~k samples)
+    in
+    Disseminated { plan = candidate; guarantee = g }
   end
   else begin
     Obs.Metrics.incr m_kept;

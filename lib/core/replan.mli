@@ -11,8 +11,14 @@ type t
 
 type decision =
   | Kept  (** candidate not convincingly better; nothing transmitted *)
-  | Disseminated of Plan.t
-      (** new plan installed (the caller pays {!Plan.install_mj}) *)
+  | Disseminated of { plan : Plan.t; guarantee : Guarantee.t option }
+      (** new plan installed (the caller pays {!Plan.install_mj}); every
+          disseminated plan records the certified (ε, δ) bound it was
+          admitted under — from the split-window escalation when a
+          [?guarantee] target was given, otherwise computed on the
+          current window at the default confidence (that bound reuses the
+          window that chose the plan, a bias documented in
+          {!Guarantee}) *)
 
 val create :
   ?min_gain:float ->
@@ -43,6 +49,7 @@ val expected_accuracy :
 val consider :
   ?max_lp_iterations:int ->
   ?lp_deadline:float ->
+  ?guarantee:float * float ->
   t ->
   Sensor.Topology.t ->
   Sensor.Cost.t ->
@@ -58,4 +65,11 @@ val consider :
     {!Robust_plan.Fell_back_greedy} (no LP stage could be certified, e.g.
     under a crippled [max_lp_iterations]/[lp_deadline]) is never
     disseminated: the answer is always [Kept] and the stored warm-start
-    token survives for the next certified solve. *)
+    token survives for the next certified solve.
+
+    [guarantee:(eps, delta)] additionally demands the candidate certify
+    "expected accuracy >= [1 - eps] w.p. >= [1 - delta]" (see
+    {!Lp_lf.plan}); a candidate whose bound falls short of the target is
+    treated like an uncertified one — [Kept], never disseminated.  Note
+    the escalation ladder may plan the candidate at a higher energy
+    budget than [budget] (that is the guarantee/energy trade). *)

@@ -60,6 +60,95 @@ let solve ?warm_start ?max_iterations ?deadline model =
     end
   end
 
+(* ---- planning to a certified (eps, delta) target ---- *)
+
+type 'r attempt = {
+  result : 'r;
+  plan : Plan.t;
+  guarantee : Guarantee.t;
+  budget : float;
+}
+
+type 'r guaranteed = { chosen : 'r attempt; attained : bool; escalations : int }
+
+let m_target_met = Obs.Metrics.counter "guarantee.target_met"
+let m_target_unattainable = Obs.Metrics.counter "guarantee.target_unattainable"
+let h_escalations = Obs.Metrics.histogram "guarantee.escalations"
+
+let plan_with_guarantee ?(max_escalations = 6) ?(growth = 1.5) ~eps ~delta
+    ~planner ~describe topo cost ~k samples ~budget =
+  if eps <= 0. then invalid_arg "Robust_plan.plan_with_guarantee: eps <= 0";
+  if delta <= 0. || delta >= 1. then
+    invalid_arg "Robust_plan.plan_with_guarantee: delta must be in (0, 1)";
+  if growth < 1. then
+    invalid_arg "Robust_plan.plan_with_guarantee: growth must be >= 1";
+  if max_escalations < 0 then
+    invalid_arg "Robust_plan.plan_with_guarantee: negative max_escalations";
+  let m = Sampling.Sample_set.n_samples samples in
+  (* Plan on the first half, certify on the disjoint second half.  Tiny
+     windows cannot be split; the bound then reuses the planning samples
+     and carries the (documented) selection bias. *)
+  let plan_window, cert_window =
+    if m >= 4 then
+      ( Sampling.Sample_set.slice samples ~offset:0 ~count:(m / 2),
+        Sampling.Sample_set.slice samples ~offset:(m / 2) ~count:(m - (m / 2))
+      )
+    else (samples, samples)
+  in
+  (* Each rung is one data-dependent look at the certification window;
+     certifying every rung at delta / rungs keeps the chosen plan's bound
+     valid at delta by a union bound over the ladder. *)
+  let rungs = max_escalations + 1 in
+  let delta_rung = delta /. float_of_int rungs in
+  let certify_rung ~rung_budget =
+    let result = planner ~samples:plan_window ~budget:rung_budget in
+    let plan, report, objective = describe result in
+    let guarantee =
+      Guarantee.compute ~delta:delta_rung ?report ?objective topo cost plan ~k
+        cert_window
+    in
+    { result; plan; guarantee; budget = rung_budget }
+  in
+  let rec ladder e best =
+    if e >= rungs then begin
+      Obs.Metrics.incr m_target_unattainable;
+      Obs.Metrics.observe h_escalations (float_of_int max_escalations);
+      Log.warn (fun msg ->
+          msg
+            "guarantee target (eps = %g, delta = %g) unattainable within %d \
+             escalations; best certified lower bound %.4f"
+            eps delta max_escalations best.guarantee.Guarantee.certified_lower);
+      { chosen = best; attained = false; escalations = max_escalations }
+    end
+    else begin
+      let a = certify_rung ~rung_budget:(budget *. (growth ** float_of_int e)) in
+      if Guarantee.meets a.guarantee ~eps ~delta then begin
+        Obs.Metrics.incr m_target_met;
+        Obs.Metrics.observe h_escalations (float_of_int e);
+        { chosen = a; attained = true; escalations = e }
+      end
+      else begin
+        let best =
+          (* Strict improvement only: ties keep the earlier (cheaper)
+             rung, making the reported fallback deterministic. *)
+          if
+            a.guarantee.Guarantee.certified_lower
+            > best.guarantee.Guarantee.certified_lower
+          then a
+          else best
+        in
+        ladder (e + 1) best
+      end
+    end
+  in
+  let first = certify_rung ~rung_budget:budget in
+  if Guarantee.meets first.guarantee ~eps ~delta then begin
+    Obs.Metrics.incr m_target_met;
+    Obs.Metrics.observe h_escalations 0.;
+    { chosen = first; attained = true; escalations = 0 }
+  end
+  else ladder 1 first
+
 let pp_provenance ppf = function
   | Certified_revised -> Format.pp_print_string ppf "certified-revised"
   | Certified_dense -> Format.pp_print_string ppf "certified-dense"

@@ -53,3 +53,61 @@ val solve :
 
 val pp_provenance : Format.formatter -> provenance -> unit
 val pp_failure : Format.formatter -> failure -> unit
+
+(** {1 Planning to a certified (ε, δ) target}
+
+    [plan_with_guarantee] wraps any planner in a budget-escalation loop
+    that stops when the plan's {!Guarantee} certifies the requested
+    target "expected top-k accuracy at least [1 - eps], with failure
+    probability at most [delta]" — or declares the target unattainable
+    within the escalation ladder, returning the best attempt.
+
+    Soundness measures baked into the loop (see DESIGN.md, "Error
+    guarantees"):
+    - the sample window is split — plans are optimized on the first half
+      and certified on the disjoint second half, so the certification
+      samples are independent of the plan they certify (windows shorter
+      than 4 samples cannot be split; the full window is then used for
+      both and the resulting bound carries the reuse bias);
+    - picking the first of up to [max_escalations + 1] data-dependent
+      attempts is itself a selection, so each rung's bound is computed at
+      level [delta / (max_escalations + 1)]; a union bound then makes the
+      {e chosen} plan's certificate valid at level [delta]. *)
+
+type 'r attempt = {
+  result : 'r;  (** the planner's full result at this rung *)
+  plan : Plan.t;
+  guarantee : Guarantee.t;
+  budget : float;  (** the budget this rung planned against *)
+}
+
+type 'r guaranteed = {
+  chosen : 'r attempt;
+      (** the first attempt meeting the target, or — when unattained —
+          the attempt with the highest certified lower bound (earliest,
+          hence cheapest, on ties) *)
+  attained : bool;
+  escalations : int;  (** budget raises actually performed *)
+}
+
+val plan_with_guarantee :
+  ?max_escalations:int ->
+  ?growth:float ->
+  eps:float ->
+  delta:float ->
+  planner:(samples:Sampling.Sample_set.t -> budget:float -> 'r) ->
+  describe:('r -> Plan.t * Lp.Certify.report option * float option) ->
+  Sensor.Topology.t ->
+  Sensor.Cost.t ->
+  k:int ->
+  Sampling.Sample_set.t ->
+  budget:float ->
+  'r guaranteed
+(** Run the ladder [budget, budget * growth, ...] ([max_escalations]
+    raises, default 6; [growth] default 1.5).  [planner] is called with
+    the plan-window slice and the rung's budget; [describe] projects its
+    result to the plan, the certification report that admitted the LP
+    solution (to fold the duality gap into the bound) and the LP
+    objective.  Deterministic: same inputs, same ladder, same choice.
+    @raise Invalid_argument on [eps <= 0], [delta] outside (0, 1),
+    [growth < 1] or negative [max_escalations]. *)

@@ -106,7 +106,7 @@ let run ?(quick = false) ~seed () =
               Prospector.Replan.consider state topo cost mica samples ~k
                 ~budget:!budget
             with
-            | Prospector.Replan.Disseminated plan ->
+            | Prospector.Replan.Disseminated { plan; _ } ->
                 incr installs;
                 energy := !energy +. Prospector.Plan.install_mj topo mica plan
             | Prospector.Replan.Kept -> ())

@@ -5,7 +5,7 @@
    emission order; exporters render JSON-lines (one event per line, parse
    it back with {!read_jsonl}) or CSV. *)
 
-type kind = Solve | Certify | Plan | Epoch | Retransmit
+type kind = Solve | Certify | Plan | Epoch | Retransmit | Guarantee
 
 type attr =
   | Int of int
@@ -54,6 +54,7 @@ let kind_to_string = function
   | Plan -> "plan"
   | Epoch -> "epoch"
   | Retransmit -> "retransmit"
+  | Guarantee -> "guarantee"
 
 (* Declaration-order rank, so aggregators can sort without polymorphic
    compare and exporter output has one canonical kind order. *)
@@ -63,6 +64,7 @@ let kind_rank = function
   | Plan -> 2
   | Epoch -> 3
   | Retransmit -> 4
+  | Guarantee -> 5
 
 let compare_kind a b = Int.compare (kind_rank a) (kind_rank b)
 
@@ -72,6 +74,7 @@ let kind_of_string = function
   | "plan" -> Some Plan
   | "epoch" -> Some Epoch
   | "retransmit" -> Some Retransmit
+  | "guarantee" -> Some Guarantee
   | _ -> None
 
 (* ---- JSON-lines ---- *)

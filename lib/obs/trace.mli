@@ -8,9 +8,9 @@
     {!to_csv_file}, or aggregate them with {!Report}. *)
 
 (** The instrumented span kinds: LP solves, certification passes, planner
-    decisions, whole simulated collection rounds, and individual
-    link-layer retransmissions. *)
-type kind = Solve | Certify | Plan | Epoch | Retransmit
+    decisions, whole simulated collection rounds, individual link-layer
+    retransmissions, and statistical (ε, δ) guarantee computations. *)
+type kind = Solve | Certify | Plan | Epoch | Retransmit | Guarantee
 
 type attr = Int of int | Float of float | Str of string | Bool of bool
 

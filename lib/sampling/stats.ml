@@ -1,9 +1,10 @@
 let mean xs =
-  if Array.length xs = 0 then 0.
-  else Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty array";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
 
 let variance xs =
   let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.variance: empty array";
   if n < 2 then 0.
   else begin
     let m = mean xs in

@@ -2,9 +2,13 @@
     helpers used by the field generators and the test suite. *)
 
 val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument ([Stats.mean: empty array])
+    on empty input — a silent 0 would poison downstream bounds. *)
 
 val variance : float array -> float
-(** Unbiased sample variance (0. for arrays shorter than 2). *)
+(** Unbiased sample variance; 0. for a single observation.
+    @raise Invalid_argument ([Stats.variance: empty array]) on empty
+    input. *)
 
 val normal_cdf : float -> float
 (** Standard normal CDF, via an Abramowitz–Stegun erf approximation
@@ -16,4 +20,7 @@ val normal_quantile : float -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0, 1]; linear interpolation between
-    order statistics.  The input array is not modified. *)
+    order statistics.  The input array is not modified.
+    @raise Invalid_argument ([Stats.percentile: empty array] /
+    [Stats.percentile: p out of range]) instead of indexing out of
+    bounds. *)

@@ -135,11 +135,18 @@ let test_replan_upgrades_empty_plan () =
   let empty = Prospector.Plan.make topo (Array.make topo.Sensor.Topology.n 0) in
   let state = Prospector.Replan.create ~initial:empty () in
   match Prospector.Replan.consider state topo cost mica samples ~k:4 ~budget with
-  | Prospector.Replan.Disseminated plan ->
+  | Prospector.Replan.Disseminated { plan; guarantee } ->
       Alcotest.(check int) "one replan" 1 (Prospector.Replan.replans state);
       Alcotest.(check bool) "plan not empty" true (Prospector.Plan.total_bandwidth plan > 0);
       Alcotest.(check bool) "current updated" true
-        (Prospector.Replan.current state == plan)
+        (Prospector.Replan.current state == plan);
+      (* Every disseminated plan carries a machine-checkable bound. *)
+      (match guarantee with
+      | None -> Alcotest.fail "disseminated plan carries no guarantee"
+      | Some g ->
+          (match Prospector.Guarantee.validate g with
+          | Ok () -> ()
+          | Error reason -> Alcotest.fail ("invalid guarantee: " ^ reason)))
   | Prospector.Replan.Kept -> Alcotest.fail "should have disseminated"
 
 let test_replan_force () =

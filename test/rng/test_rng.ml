@@ -103,7 +103,9 @@ let test_stats_mean_variance () =
   Alcotest.(check (float 1e-9)) "mean" 2. (Sampling.Stats.mean [| 1.; 2.; 3. |]);
   Alcotest.(check (float 1e-9)) "variance" 1.
     (Sampling.Stats.variance [| 1.; 2.; 3. |]);
-  Alcotest.(check (float 1e-9)) "empty mean" 0. (Sampling.Stats.mean [||]);
+  Alcotest.check_raises "empty mean raises"
+    (Invalid_argument "Stats.mean: empty array") (fun () ->
+      ignore (Sampling.Stats.mean [||]));
   Alcotest.(check (float 1e-9)) "singleton variance" 0.
     (Sampling.Stats.variance [| 5. |])
 

@@ -1,0 +1,225 @@
+(* Coverage for the lib/sampling generators the guarantee harness leans
+   on: determinism under an explicit seed (so every certified bound is
+   reproducible from one integer), moment sanity for the field models, the
+   sliding window's expiry semantics, and the Stats edge cases. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- determinism under seed ---------- *)
+
+let drawn field seed epochs =
+  let rng = Rng.create seed in
+  Array.init epochs (fun _ -> field.Sampling.Field.draw rng)
+
+let same_matrix a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun r s -> Array.for_all2 Float.equal r s) a b
+
+let test_field_deterministic () =
+  let make seed =
+    let rng = Rng.create seed in
+    Sampling.Field.random_gaussian rng ~n:9 ~mean_lo:18. ~mean_hi:26.
+      ~sigma_lo:1. ~sigma_hi:3.
+  in
+  Alcotest.(check bool) "same seed, same epochs" true
+    (same_matrix (drawn (make 5) 77 6) (drawn (make 5) 77 6));
+  Alcotest.(check bool) "different draw seed, different epochs" false
+    (same_matrix (drawn (make 5) 77 6) (drawn (make 5) 78 6));
+  Alcotest.(check bool) "different field seed, different epochs" false
+    (same_matrix (drawn (make 5) 77 6) (drawn (make 6) 77 6))
+
+let test_mvn_deterministic () =
+  let means = [| 10.; 12.; 14.; 16. |] in
+  let covariance =
+    Array.init 4 (fun i ->
+        Array.init 4 (fun j ->
+            (3. *. exp (-.Float.abs (float_of_int (i - j)))) +.
+            if i = j then 0.2 else 0.))
+  in
+  let field = Sampling.Mvn.field ~means ~covariance in
+  Alcotest.(check bool) "same seed, same joint draws" true
+    (same_matrix (drawn field 41 8) (drawn field 41 8));
+  Alcotest.(check bool) "seeds decorrelate" false
+    (same_matrix (drawn field 41 8) (drawn field 42 8))
+
+let test_sample_set_draw_deterministic () =
+  let field =
+    Sampling.Field.independent_gaussian
+      ~means:[| 20.; 21.; 22.; 23.; 24. |]
+      ~sigmas:[| 1.; 2.; 1.; 2.; 1. |]
+  in
+  let s1 = Sampling.Sample_set.draw (Rng.create 9) field ~k:2 ~count:12 in
+  let s2 = Sampling.Sample_set.draw (Rng.create 9) field ~k:2 ~count:12 in
+  Alcotest.(check bool) "values identical" true
+    (same_matrix s1.Sampling.Sample_set.values s2.Sampling.Sample_set.values);
+  Alcotest.(check (array int)) "colsum identical"
+    s1.Sampling.Sample_set.colsum s2.Sampling.Sample_set.colsum
+
+(* ---------- moment sanity ---------- *)
+
+let column epochs i = Array.map (fun row -> row.(i)) epochs
+
+let test_independent_gaussian_moments () =
+  let means = [| 5.; 20.; -3. |] and sigmas = [| 0.5; 2.; 1. |] in
+  let field = Sampling.Field.independent_gaussian ~means ~sigmas in
+  let epochs = drawn field 123 4000 in
+  Array.iteri
+    (fun i mu ->
+      let xs = column epochs i in
+      let sd = sigmas.(i) in
+      (* Mean of 4000 draws has sd = sigma / sqrt 4000; 6 of those is a
+         never-flaky margin for a fixed seed. *)
+      Alcotest.(check bool) "mean close" true
+        (Float.abs (Sampling.Stats.mean xs -. mu) < 6. *. sd /. sqrt 4000.);
+      Alcotest.(check bool) "variance close" true
+        (Float.abs (Sampling.Stats.variance xs -. (sd *. sd)) < 0.3 *. sd *. sd))
+    means
+
+let test_mvn_moments () =
+  let means = [| 10.; 12.; 14.; 16.; 18. |] in
+  let covariance =
+    Array.init 5 (fun i ->
+        Array.init 5 (fun j ->
+            (4. *. exp (-.Float.abs (float_of_int (i - j)) /. 2.)) +.
+            if i = j then 0.1 else 0.))
+  in
+  let field = Sampling.Mvn.field ~means ~covariance in
+  let epochs = drawn field 321 4000 in
+  let emp = Sampling.Mvn.empirical_covariance epochs in
+  for i = 0 to 4 do
+    Alcotest.(check bool) "marginal mean close" true
+      (Float.abs (Sampling.Stats.mean (column epochs i) -. means.(i)) < 0.3);
+    for j = 0 to 4 do
+      Alcotest.(check bool) "covariance entry close" true
+        (Float.abs (emp.(i).(j) -. covariance.(i).(j)) < 0.6)
+    done
+  done
+
+let test_contention_zone_moments () =
+  let zone = [| -1; 0; 0; 1; 1; -1 |] in
+  let exceed_prob = 0.3 and background_mean = 20. in
+  let field =
+    Sampling.Field.contention_zones ~zone ~background_mean ~background_sigma:0.5
+      ~exceed_prob ~mean_gap:3. in
+  let epochs = drawn field 77 4000 in
+  Array.iteri
+    (fun i z ->
+      let xs = column epochs i in
+      if z >= 0 then begin
+        (* Zone nodes are built to exceed the background level with the
+           configured probability. *)
+        let hits =
+          Array.fold_left
+            (fun c v -> if v > background_mean then c + 1 else c)
+            0 xs
+        in
+        let rate = float_of_int hits /. 4000. in
+        Alcotest.(check bool) "exceed probability close" true
+          (Float.abs (rate -. exceed_prob) < 0.05);
+        Alcotest.(check bool) "zone mean sits below background" true
+          (Sampling.Stats.mean xs < background_mean)
+      end
+      else
+        Alcotest.(check bool) "background mean close" true
+          (Float.abs (Sampling.Stats.mean xs -. background_mean) < 0.1))
+    zone
+
+let test_scaled_field_dispersion () =
+  let base =
+    Sampling.Field.independent_gaussian
+      ~means:[| 10.; 20.; 30.; 40. |]
+      ~sigmas:[| 1.; 1.; 1.; 1. |]
+  in
+  let wide = Sampling.Field.scaled base ~sigma_scale:3. in
+  let spread field seed =
+    let epochs = drawn field seed 2000 in
+    Sampling.Stats.mean
+      (Array.map (fun row -> Sampling.Stats.variance row) epochs)
+  in
+  Alcotest.(check bool) "scaling widens per-epoch dispersion" true
+    (spread wide 5 > 4. *. spread base 5)
+
+(* ---------- sliding window ---------- *)
+
+let test_window_expiry () =
+  let w = Sampling.Window.create ~capacity:3 in
+  Alcotest.(check int) "empty" 0 (Sampling.Window.length w);
+  Alcotest.(check int) "capacity" 3 (Sampling.Window.capacity w);
+  List.iter
+    (fun v -> Sampling.Window.add w [| v; v +. 1. |])
+    [ 1.; 2.; 3.; 4.; 5. ];
+  Alcotest.(check int) "capped" 3 (Sampling.Window.length w);
+  let s = Sampling.Window.to_sample_set w ~k:1 in
+  (* Only the three most recent samples survive. *)
+  Alcotest.(check int) "three samples" 3 (Sampling.Sample_set.n_samples s);
+  let firsts =
+    List.sort compare
+      (Array.to_list (Array.map (fun row -> row.(0)) s.Sampling.Sample_set.values))
+  in
+  Alcotest.(check (list (float 1e-12))) "oldest expired" [ 3.; 4.; 5. ] firsts
+
+let test_window_empty_raises () =
+  let w = Sampling.Window.create ~capacity:2 in
+  Alcotest.(check bool) "to_sample_set on empty raises Invalid_argument" true
+    (match Sampling.Window.to_sample_set w ~k:1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- Stats edge cases ---------- *)
+
+let test_stats_empty_inputs_raise () =
+  Alcotest.check_raises "empty mean"
+    (Invalid_argument "Stats.mean: empty array") (fun () ->
+      ignore (Sampling.Stats.mean [||]));
+  Alcotest.check_raises "empty variance"
+    (Invalid_argument "Stats.variance: empty array") (fun () ->
+      ignore (Sampling.Stats.variance [||]));
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.percentile: empty array") (fun () ->
+      ignore (Sampling.Stats.percentile [||] 0.5))
+
+let test_stats_singleton_and_bounds () =
+  check_float "singleton mean" 7. (Sampling.Stats.mean [| 7. |]);
+  check_float "singleton variance" 0. (Sampling.Stats.variance [| 7. |]);
+  let xs = [| 3.; 1.; 2. |] in
+  check_float "p = 0 is the min" 1. (Sampling.Stats.percentile xs 0.);
+  check_float "p = 1 is the max" 3. (Sampling.Stats.percentile xs 1.);
+  check_float "median interpolates" 2. (Sampling.Stats.percentile xs 0.5);
+  Alcotest.(check (array (float 1e-12))) "input not modified" [| 3.; 1.; 2. |] xs;
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Sampling.Stats.percentile xs 1.5))
+
+let () =
+  Alcotest.run "generators"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "gaussian field" `Quick test_field_deterministic;
+          Alcotest.test_case "mvn field" `Quick test_mvn_deterministic;
+          Alcotest.test_case "sample-set draw" `Quick
+            test_sample_set_draw_deterministic;
+        ] );
+      ( "moments",
+        [
+          Alcotest.test_case "independent gaussian" `Quick
+            test_independent_gaussian_moments;
+          Alcotest.test_case "mvn" `Quick test_mvn_moments;
+          Alcotest.test_case "contention zones" `Quick
+            test_contention_zone_moments;
+          Alcotest.test_case "scaled dispersion" `Quick
+            test_scaled_field_dispersion;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "expiry" `Quick test_window_expiry;
+          Alcotest.test_case "empty raises" `Quick test_window_empty_raises;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "empty inputs raise" `Quick
+            test_stats_empty_inputs_raise;
+          Alcotest.test_case "singleton and bounds" `Quick
+            test_stats_singleton_and_bounds;
+        ] );
+    ]
