@@ -1,7 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test stress bench bench-quick bench-json bench-certify \
-	bench-telemetry bench-guarantee guarantee gate lint examples clean
+	bench-telemetry bench-guarantee bench-churn guarantee churn gate lint \
+	examples clean
 
 all: build
 
@@ -56,6 +57,21 @@ guarantee:
 	GUARANTEE_SUMMARY=$(CURDIR)/_guarantee_sweep.json \
 	  dune exec test/core/test_guarantee.exe
 
+# Churn recovery record: per-victim plan-surgery latency and delta-install
+# energy vs a full re-plan, plus one crash-restart controller campaign;
+# writes BENCH_CHURN.json at the repo root.
+bench-churn:
+	dune exec bench/main.exe -- churn
+
+# Chaos campaign (the self-healing harness): crash / crash-restart /
+# burst+bernoulli+crash schedules across rotating seeds, with its JSON
+# summary written next to the repo root.  Tune with
+# CHURN_SEEDS / CHURN_SEED_OFFSET, e.g.
+#   make churn CHURN_SEEDS=500 CHURN_SEED_OFFSET=1000
+churn:
+	CHURN_SUMMARY=$(CURDIR)/_churn_sweep.json \
+	  dune exec test/core/test_churn.exe
+
 # Perf-regression gate: regenerate both perf records into _gate_fresh_*
 # scratch files (never over the committed baselines) and compare each
 # against its committed BENCH_PR<n>.json within the gate's tolerances.
@@ -64,8 +80,10 @@ gate:
 	dune exec tools/bench_gate.exe -- --self-test
 	dune exec bench/main.exe -- --json _gate_fresh_pr1.json
 	dune exec bench/main.exe -- certify --out _gate_fresh_pr3.json
+	dune exec bench/main.exe -- churn --out _gate_fresh_churn.json
 	dune exec tools/bench_gate.exe -- BENCH_PR1.json _gate_fresh_pr1.json
 	dune exec tools/bench_gate.exe -- BENCH_PR3.json _gate_fresh_pr3.json
+	dune exec tools/bench_gate.exe -- BENCH_CHURN.json _gate_fresh_churn.json
 
 # AST-level invariant lint (tools/repolint): determinism, hash-order,
 # polymorphic comparison, partial accessors, stdout hygiene.  Fails on

@@ -711,6 +711,221 @@ let run_guarantee_bench path =
   output_string oc (Obs.Json.to_string_pretty record);
   close_out oc
 
+(* ---- churn recovery record (churn -> BENCH_CHURN.json) ----
+
+   What self-healing costs when a subtree dies: per-victim plan surgery
+   (warm-started, as the controller runs it) timed against the full
+   re-plan alternative, plus one controller campaign under a
+   crash-restart schedule for the end-to-end recovery energy and the
+   detection latency.  The energy figures are model-derived and
+   deterministic per seed, so the gate holds them exact; the surgery
+   latency is gated like any other solve time. *)
+
+let run_churn_bench path =
+  Format.printf "@.######## Churn recovery -> %s ########@." path;
+  let oc = open_out path in
+  let n = if !quick then 25 else 40 in
+  let k = if !quick then 5 else 8 in
+  let m = if !quick then 80 else 160 in
+  let rng = Rng.create (!seed * 104729) in
+  let layout = Sensor.Placement.uniform rng ~n ~width:200. ~height:200. () in
+  let range = Sensor.Topology.min_connecting_range layout *. 1.25 in
+  let topo = Sensor.Topology.build layout ~range in
+  let mica = Sensor.Mica2.default in
+  let cost = Sensor.Cost.of_mica2 topo mica in
+  let field =
+    Sampling.Field.random_gaussian rng ~n ~mean_lo:20. ~mean_hi:30. ~sigma_lo:1.
+      ~sigma_hi:4.
+  in
+  let samples = Sampling.Sample_set.draw rng field ~k ~count:m in
+  let anchor =
+    Prospector.Plan.expected_collection_mj topo cost
+      (Prospector.Proof_exec.min_bandwidth_plan topo)
+  in
+  let budget = 0.7 *. anchor in
+  let first = Prospector.Lp_lf.plan topo cost samples ~budget ~k in
+  let initial = first.Prospector.Lp_lf.plan in
+  let full_install = Prospector.Plan.install_mj topo mica initial in
+  let root = topo.Sensor.Topology.root in
+  let by_subtree_desc a b =
+    let sa = topo.Sensor.Topology.subtree_size.(a)
+    and sb = topo.Sensor.Topology.subtree_size.(b) in
+    if sa <> sb then Int.compare sb sa
+    else Int.compare a b (* earlier id first on ties *)
+  in
+  let victims =
+    Prospector.Plan.participants topo initial
+    |> List.filter (fun i -> i <> root)
+    |> List.sort by_subtree_desc
+    |> List.filteri (fun i _ -> i < if !quick then 4 else 8)
+  in
+  (* Per-victim surgery, warm-started from the undamaged solve exactly as
+     the controller replays it.  Repeat each surgery a few times and take
+     the per-victim median latency; the energies are identical across
+     reps (deterministic), so only the timing needs the repetition. *)
+  let reps = 5 in
+  let surgery_rows, repair_times =
+    List.fold_left
+      (fun (rows, times) v ->
+        let outcomes =
+          List.init reps (fun _ ->
+              Prospector.Repair.surgery
+                ?warm_start:first.Prospector.Lp_lf.basis ~delta:1e-4 topo cost
+                mica samples ~current:initial ~dead:[ v ] ~k ~budget)
+        in
+        match List.hd outcomes with
+        | Prospector.Repair.Repaired r ->
+            let ms =
+              median
+                (List.filter_map
+                   (function
+                     | Prospector.Repair.Repaired r ->
+                         Some (1000. *. r.Prospector.Repair.repair_s)
+                     | _ -> None)
+                   outcomes)
+            in
+            let repaired_install =
+              Prospector.Plan.install_mj topo mica r.Prospector.Repair.plan
+            in
+            Format.printf
+              "victim %2d (subtree %2d): repair %6.2f ms, delta install %.3f \
+               mJ vs %.3f mJ full re-install, floor %.3f@."
+              v
+              topo.Sensor.Topology.subtree_size.(v)
+              ms r.Prospector.Repair.delta_install_mj repaired_install
+              r.Prospector.Repair.guarantee.Prospector.Guarantee.certified_lower;
+            let row =
+              Obs.Json.Obj
+                [
+                  ("victim", Obs.Json.Num (float_of_int v));
+                  ( "subtree",
+                    Obs.Json.Num
+                      (float_of_int topo.Sensor.Topology.subtree_size.(v)) );
+                  ( "delta_install_mj",
+                    Obs.Json.Num r.Prospector.Repair.delta_install_mj );
+                  ("repaired_full_install", Obs.Json.Num repaired_install);
+                  ( "changed_nodes",
+                    Obs.Json.Num
+                      (float_of_int (List.length r.Prospector.Repair.changed))
+                  );
+                  ( "degraded_floor",
+                    Obs.Json.Num
+                      r.Prospector.Repair.guarantee
+                        .Prospector.Guarantee.certified_lower );
+                ]
+            in
+            (row :: rows, ms :: times)
+        | _ ->
+            (* Surfaced, not silently dropped: a victim whose repair was
+               refused would shrink the medians below. *)
+            Format.printf "victim %2d: repair refused — excluded@." v;
+            (rows, times))
+      ([], []) victims
+  in
+  let surgery_rows = List.rev surgery_rows in
+  let repair_ms = median repair_times in
+  (* One controller campaign: crash at epoch 2, restart at epoch 6, probe
+     sweep alongside the installed plan as in the chaos harness. *)
+  let epochs = 10 and down_epoch = 2 and up_epoch = 6 in
+  let victim = List.hd victims in
+  let ctrl =
+    Prospector.Repair.create ~confirm_after:2 ~clear_after:2 ~delta:1e-4 topo
+      cost mica ~initial ~k ~budget ()
+  in
+  let probe =
+    Prospector.Plan.make topo
+      (Array.mapi
+         (fun i size -> if i = root then 0 else Int.min size k)
+         topo.Sensor.Topology.subtree_size)
+  in
+  let erng = Rng.create ((!seed * 131) + 17) in
+  let first_repair = ref None and repaired_at = ref [] in
+  for e = 0 to epochs - 1 do
+    let base = Simnet.Fault.none ~n in
+    let fault =
+      if e >= down_epoch && e < up_epoch then
+        Simnet.Fault.with_crashes base [ (victim, 0., infinity) ]
+      else base
+    in
+    let readings = field.Sampling.Field.draw erng in
+    let run =
+      Prospector.Simnet_exec.collect topo mica
+        ~fault:(fault, Rng.create ((!seed * 37) + (2 * e)))
+        (Prospector.Repair.plan ctrl) ~k ~readings
+    in
+    let sweep =
+      Prospector.Simnet_exec.collect topo mica
+        ~fault:(fault, Rng.create ((!seed * 37) + (2 * e) + 1))
+        probe ~k ~readings
+    in
+    let dark =
+      List.sort_uniq Int.compare
+        (run.Prospector.Simnet_exec.dark @ sweep.Prospector.Simnet_exec.dark)
+    in
+    match Prospector.Repair.observe ctrl samples ~dark with
+    | Prospector.Repair.Repaired _ ->
+        if !first_repair = None then first_repair := Some e;
+        repaired_at := e :: !repaired_at
+    | _ -> ()
+  done;
+  let detection_epochs =
+    match !first_repair with
+    | Some e -> float_of_int (e - down_epoch)
+    | None -> -1. (* never: the victim participates, so a repair lands *)
+  in
+  let recovery_mj = Prospector.Repair.repair_energy_mj ctrl in
+  let full_replan_install_mj =
+    (* what the same campaign would have paid re-disseminating the whole
+       plan at every repair *)
+    float_of_int (Prospector.Repair.repairs ctrl) *. full_install
+  in
+  Format.printf
+    "campaign: %d repairs (epochs %s), detection %.0f epochs, recovery %.3f \
+     mJ vs %.3f mJ full re-installs@."
+    (Prospector.Repair.repairs ctrl)
+    (String.concat ","
+       (List.rev_map string_of_int !repaired_at))
+    detection_epochs recovery_mj full_replan_install_mj;
+  let record =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "bench-churn/1");
+        ("seed", Obs.Json.Num (float_of_int !seed));
+        ("quick", Obs.Json.Bool !quick);
+        ( "instance",
+          Obs.Json.Obj
+            [
+              ("n", Obs.Json.Num (float_of_int n));
+              ("k", Obs.Json.Num (float_of_int k));
+              ("window", Obs.Json.Num (float_of_int m));
+              ("budget_mj", Obs.Json.Num budget);
+              ("initial_full_install", Obs.Json.Num full_install);
+            ] );
+        ( "surgery",
+          Obs.Json.Obj
+            [
+              ("victims", Obs.Json.Num (float_of_int (List.length victims)));
+              ("repair_ms", Obs.Json.Num repair_ms);
+              ("rows", Obs.Json.List surgery_rows);
+            ] );
+        ( "campaign",
+          Obs.Json.Obj
+            [
+              ("schedule", Obs.Json.Str "crash-restart");
+              ("epochs", Obs.Json.Num (float_of_int epochs));
+              ("victim", Obs.Json.Num (float_of_int victim));
+              ( "repairs",
+                Obs.Json.Num (float_of_int (Prospector.Repair.repairs ctrl)) );
+              ("detection_epochs", Obs.Json.Num detection_epochs);
+              ("recovery_mj", Obs.Json.Num recovery_mj);
+              ("full_replan_install", Obs.Json.Num full_replan_install_mj);
+            ] );
+      ]
+  in
+  output_string oc (Obs.Json.to_string_pretty record);
+  output_char oc '\n';
+  close_out oc
+
 let all_experiments =
   [
     ("table1", `Plain (fun () -> Experiments.Table1.run ()));
@@ -734,6 +949,7 @@ let all_experiments =
       `Plain (fun () -> run_telemetry_bench (out_or "BENCH_PR4.json")) );
     ( "guarantee",
       `Plain (fun () -> run_guarantee_bench (out_or "BENCH_GUARANTEE.json")) );
+    ("churn", `Plain (fun () -> run_churn_bench (out_or "BENCH_CHURN.json")));
   ]
 
 let usage () =
@@ -746,7 +962,7 @@ let usage () =
     "--json PATH writes machine-readable LP solve-time and warm-start\n\
      results to PATH; with no experiment names it runs only that pass.\n\
      --out PATH overrides where the record-writing experiments (certify,\n\
-     telemetry, guarantee) write their JSON.";
+     telemetry, guarantee, churn) write their JSON.";
   exit 1
 
 let () =

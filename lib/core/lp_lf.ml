@@ -13,9 +13,22 @@ type result = {
   guarantee : Guarantee.t option;
 }
 
-let build topo cost samples ~budget ~k =
+let check_alive topo alive =
+  match alive with
+  | None -> ()
+  | Some a ->
+      if Array.length a <> topo.Sensor.Topology.n then
+        invalid_arg "Lp_lf.plan: alive mask length mismatch";
+      if not a.(topo.Sensor.Topology.root) then
+        invalid_arg "Lp_lf.plan: root cannot be dead"
+
+let is_alive alive i =
+  match alive with None -> true | Some a -> a.(i)
+
+let build ?alive topo cost samples ~budget ~k =
   if budget < 0. then invalid_arg "Lp_lf.plan: negative budget";
   if k < 1 then invalid_arg "Lp_lf.plan: k must be positive";
+  check_alive topo alive;
   let n = topo.Sensor.Topology.n in
   let root = topo.Sensor.Topology.root in
   let ones = samples.Sampling.Sample_set.ones in
@@ -24,7 +37,14 @@ let build topo cost samples ~budget ~k =
   let z = Array.make n None and b = Array.make n None in
   for i = 0 to n - 1 do
     if i <> root then begin
-      z.(i) <- Some (Lp.Model.add_var model ~upper:1. (Printf.sprintf "z%d" i));
+      (* Dead nodes keep their variables — same model shape, so PR-1
+         warm-start tokens from the undamaged solve still apply — but
+         their edge can never activate: z's upper bound drops to 0, the
+         activation row forces b = 0, y <= z forces coverage to 0 and
+         z-monotonicity shuts every descendant's edge. *)
+      let z_upper = if is_alive alive i then 1. else 0. in
+      z.(i) <-
+        Some (Lp.Model.add_var model ~upper:z_upper (Printf.sprintf "z%d" i));
       let cap =
         float_of_int (Int.min k topo.Sensor.Topology.subtree_size.(i))
       in
@@ -100,8 +120,8 @@ let build topo cost samples ~budget ~k =
   Lp.Model.add_le model !budget_terms budget;
   (model, getb)
 
-let lp_model topo cost samples ~budget ~k =
-  fst (build topo cost samples ~budget ~k)
+let lp_model ?alive topo cost samples ~budget ~k =
+  fst (build ?alive topo cost samples ~budget ~k)
 
 (* Emit one [Plan] span per planning decision, carrying where the plan
    came from and what the LP claimed for it. *)
@@ -126,12 +146,12 @@ let traced_plan ~topo ~budget ~k f =
     r
   end
 
-let plan_plain ?warm_start ?max_lp_iterations ?lp_deadline topo cost samples
-    ~budget ~k =
+let plan_plain ?alive ?warm_start ?max_lp_iterations ?lp_deadline topo cost
+    samples ~budget ~k =
   let n = topo.Sensor.Topology.n in
   let root = topo.Sensor.Topology.root in
   traced_plan ~topo ~budget ~k @@ fun () ->
-  let model, getb = build topo cost samples ~budget ~k in
+  let model, getb = build ?alive topo cost samples ~budget ~k in
   match
     Robust_plan.solve ?warm_start ?max_iterations:max_lp_iterations
       ?deadline:lp_deadline model
@@ -141,17 +161,22 @@ let plan_plain ?warm_start ?max_lp_iterations ?lp_deadline topo cost samples
       (* No certified LP solution: ship the greedy selection without local
          filtering.  Its objective is the covered-ones count the selection
          achieves on the samples (the same currency as the LP's). *)
-      let chosen =
-        Greedy.chosen_by_colsum topo cost
-          ~colsum:samples.Sampling.Sample_set.colsum ~budget
+      let colsum =
+        (* The greedy fallback must honour the mask too: a dead node's
+           column count drops to 0, which excludes it from selection. *)
+        match alive with
+        | None -> samples.Sampling.Sample_set.colsum
+        | Some a ->
+            Array.mapi
+              (fun i c -> if a.(i) then c else 0)
+              samples.Sampling.Sample_set.colsum
       in
+      let chosen = Greedy.chosen_by_colsum topo cost ~colsum ~budget in
       let plan = Plan.of_chosen topo chosen in
       let lp_objective = ref 0. in
       for i = 0 to n - 1 do
         if chosen.(i) && i <> root then
-          lp_objective :=
-            !lp_objective
-            +. float_of_int samples.Sampling.Sample_set.colsum.(i)
+          lp_objective := !lp_objective +. float_of_int colsum.(i)
       done;
       {
         plan;
@@ -189,12 +214,12 @@ let plan_plain ?warm_start ?max_lp_iterations ?lp_deadline topo cost samples
     guarantee = None;
   }
 
-let plan ?warm_start ?max_lp_iterations ?lp_deadline ?guarantee topo cost
-    samples ~budget ~k =
+let plan ?alive ?warm_start ?max_lp_iterations ?lp_deadline ?guarantee topo
+    cost samples ~budget ~k =
   match guarantee with
   | None ->
-      plan_plain ?warm_start ?max_lp_iterations ?lp_deadline topo cost samples
-        ~budget ~k
+      plan_plain ?alive ?warm_start ?max_lp_iterations ?lp_deadline topo cost
+        samples ~budget ~k
   | Some (eps, delta) ->
       (* Escalation rungs re-solve the same LP shape with a perturbed
          budget row: chain each rung's final basis into the next so the
@@ -204,8 +229,8 @@ let plan ?warm_start ?max_lp_iterations ?lp_deadline ?guarantee topo cost
         Robust_plan.plan_with_guarantee ~eps ~delta
           ~planner:(fun ~samples ~budget ->
             let r =
-              plan_plain ?warm_start:!warm ?max_lp_iterations ?lp_deadline topo
-                cost samples ~budget ~k
+              plan_plain ?alive ?warm_start:!warm ?max_lp_iterations
+                ?lp_deadline topo cost samples ~budget ~k
             in
             (match r.basis with Some _ -> warm := r.basis | None -> ());
             r)

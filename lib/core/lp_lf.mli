@@ -39,6 +39,7 @@ type result = {
 }
 
 val plan :
+  ?alive:bool array ->
   ?warm_start:Lp.Model.basis ->
   ?max_lp_iterations:int ->
   ?lp_deadline:float ->
@@ -50,7 +51,18 @@ val plan :
   k:int ->
   result
 (** [k] caps the useful bandwidth of any edge (sending more than [k]
-    values cannot improve a top-k answer).  [warm_start] is best-effort:
+    values cannot improve a top-k answer).
+
+    [alive] (default: everyone) masks dead nodes out of the plan without
+    changing the LP's shape: a dead node's activation variable gets an
+    upper bound of 0, which zeroes its bandwidth, its sample coverage
+    and — through z-monotonicity — every edge below it, so warm-start
+    tokens from the undamaged instance still apply.  The greedy fallback
+    honours the same mask.  The mask must keep the root alive and, being
+    tree-structured, a dead node makes its whole subtree unplannable
+    whether or not the descendants are masked.
+
+    [warm_start] is best-effort:
     incompatible tokens are ignored.  [max_lp_iterations]/[lp_deadline]
     bound the LP stages; when both fail certification the plan is the
     greedy selection shipped without local filtering (provenance
@@ -68,6 +80,7 @@ val plan :
     raising. *)
 
 val lp_model :
+  ?alive:bool array ->
   Sensor.Topology.t ->
   Sensor.Cost.t ->
   Sampling.Sample_set.t ->

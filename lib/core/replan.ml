@@ -25,10 +25,6 @@ let create ?(min_gain = 0.05) ?(amortization_runs = 50) ~initial () =
 
 let current t = t.plan
 
-let force t plan =
-  t.plan <- plan;
-  t.replans <- t.replans + 1
-
 let replans t = t.replans
 
 let expected_accuracy topo cost plan ~k samples =
@@ -41,6 +37,17 @@ let expected_accuracy topo cost plan ~k samples =
       0. epochs
   in
   total /. float_of_int (Array.length epochs)
+
+let force t topo cost plan ~k samples =
+  (* An unconditional install is still a dissemination: it must carry the
+     same default-confidence bound [consider] attaches, or the periodic
+     baselines would ship bound-free plans.  No LP ran here, so there is
+     no certification report to fold in (lp_eps = 0) and no objective. *)
+  let g = Guarantee.compute topo cost plan ~k samples in
+  t.plan <- plan;
+  t.replans <- t.replans + 1;
+  Obs.Metrics.incr m_disseminated;
+  g
 
 let consider ?max_lp_iterations ?lp_deadline ?guarantee t topo cost mica
     samples ~k ~budget =

@@ -33,9 +33,20 @@ val create :
 
 val current : t -> Plan.t
 
-val force : t -> Plan.t -> unit
+val force :
+  t ->
+  Sensor.Topology.t ->
+  Sensor.Cost.t ->
+  Plan.t ->
+  k:int ->
+  Sampling.Sample_set.t ->
+  Guarantee.t
 (** Install a plan unconditionally (used by periodic re-planning
-    baselines); counts as a dissemination. *)
+    baselines); counts as a dissemination.  Like {!consider}'s
+    dissemination path it computes and returns the default-confidence
+    {!Guarantee.t} on the given window, so even forced installs carry a
+    machine-checkable bound (with no LP certificate to fold in, the
+    bound's [lp_eps] is 0). *)
 
 val replans : t -> int
 (** How many times a new plan has been disseminated. *)

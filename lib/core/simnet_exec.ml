@@ -7,6 +7,8 @@ type result = {
   reroutes : int;
   retransmissions : int;
   dark : int list;
+  give_ups : (int * float) list;
+  gave_up_frames : int;
 }
 
 type msg = Trigger | Values of (int * float) list
@@ -45,6 +47,10 @@ let collect topo mica ?failure ?fault ?policy plan ~k ~readings =
   let inbox = Array.make n [] in
   let answer = ref [] in
   let mark_dark, dark = darkness topo in
+  (* Give-up instants in event order: (unreachable endpoint, sim time).
+     One entry per handler invocation, so detection latency is
+     measurable per node rather than inferred from the final dark set. *)
+  let give_ups = ref [] in
   let report api u =
     let pool =
       List.sort Exec.value_order ((u, readings.(u)) :: inbox.(u))
@@ -71,6 +77,7 @@ let collect topo mica ?failure ?fault ?policy plan ~k ~readings =
          collection proceeds without it; an unreachable parent orphans this
          node's whole branch. *)
       Simnet.Engine.on_give_up engine ~node:u (fun api ~dst msg ->
+          give_ups := (dst, api.Simnet.Engine.time ()) :: !give_ups;
           mark_dark dst;
           match msg with
           | Trigger ->
@@ -91,4 +98,6 @@ let collect topo mica ?failure ?fault ?policy plan ~k ~readings =
     reroutes = Simnet.Engine.reroutes engine;
     retransmissions = Simnet.Engine.retransmissions_sent engine;
     dark = dark ();
+    give_ups = List.rev !give_ups;
+    gave_up_frames = Simnet.Engine.gave_up engine;
   }

@@ -26,6 +26,15 @@ type result = {
   dark : int list;
       (** nodes cut off by dead links (sorted, deduplicated); empty when
           every loss was recovered *)
+  give_ups : (int * float) list;
+      (** one entry per give-up event, in event order: the unreachable
+          endpoint and the simulated time the sender abandoned it.  The
+          same endpoint can appear once per frame that gave up on it. *)
+  gave_up_frames : int;
+      (** the engine's own give-up counter ({!Simnet.Engine.gave_up});
+          fast-fails on links already declared dead are not counted
+          there, but each directed link carries at most one frame per
+          collection, so here it always equals [List.length give_ups] *)
 }
 
 val collect :

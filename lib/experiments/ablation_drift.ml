@@ -98,7 +98,7 @@ let run ?(quick = false) ~seed () =
               (Prospector.Lp_lf.plan topo cost samples ~budget:!budget ~k)
                 .Prospector.Lp_lf.plan
             in
-            Prospector.Replan.force state plan;
+            ignore (Prospector.Replan.force state topo cost plan ~k samples);
             incr installs;
             energy := !energy +. Prospector.Plan.install_mj topo mica plan
         | `Static | `Adaptive -> (

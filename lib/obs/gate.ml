@@ -13,7 +13,7 @@
    slack instead, covering legitimate zero baselines (a perfect warm
    start re-solves in 0 iterations). *)
 
-type key_class = Time_ms | Iterations
+type key_class = Time_ms | Iterations | Energy_mj
 
 type outcome = {
   path : string;
@@ -64,7 +64,9 @@ let classify path =
       | Some i -> String.sub path (i + 1) (String.length path - i - 1)
     in
     match last with
-    | "ms_per_solve" | "solve_ms" | "cold_ms" | "warm_ms" -> Some Time_ms
+    | "ms_per_solve" | "solve_ms" | "cold_ms" | "warm_ms" | "repair_ms" ->
+        Some Time_ms
+    | "recovery_mj" | "delta_install_mj" -> Some Energy_mj
     | _ ->
         let n = String.length last in
         if
@@ -98,6 +100,11 @@ let compare_values ?(tolerance = default_tolerance) ?(min_ms = default_min_ms)
                 if skipped then true
                 else if cls = Iterations && Float.abs (f -. b) <= iter_slack
                 then true
+                else if cls = Energy_mj then
+                  (* model-derived, deterministic per seed: exact up to fp,
+                     never the relative tolerance — an energy drift is a
+                     behavior change, not measurement noise *)
+                  Float.abs (f -. b) <= 1e-9
                 else if b <= 0. || f <= 0. then b = f
                 else
                   let r = f /. b in

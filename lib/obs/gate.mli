@@ -2,15 +2,20 @@
 
     Flattens baseline and fresh records to dotted numeric paths and checks
     every {e gated} key — solve-time leaves ([ms_per_solve], [solve_ms],
-    [cold_ms], [warm_ms]) and iteration-count leaves ([*iterations]) —
-    within a two-sided relative tolerance.  Two-sided on purpose: the
+    [cold_ms], [warm_ms], [repair_ms]) and iteration-count leaves
+    ([*iterations]) —
+    within a two-sided relative tolerance, plus energy leaves
+    ([recovery_mj], [delta_install_mj]) which are model-derived and
+    deterministic per seed, so the gate holds them exact (up to float
+    noise) — an energy drift is a behavior change, never measurement
+    noise.  Two-sided on purpose: the
     baseline is an enforced trajectory, so a large improvement fails too
     until the baseline is refreshed and committed.  Sub-millisecond timing
     keys are skipped (noise-dominated); iteration keys carry a small
     absolute slack so a zero-iteration warm start compares cleanly.  The
     frozen [pr1_seed_baseline] block is never gated. *)
 
-type key_class = Time_ms | Iterations
+type key_class = Time_ms | Iterations | Energy_mj
 
 type outcome = {
   path : string;  (** dotted path, array elements as [name[i]] *)

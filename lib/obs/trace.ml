@@ -5,7 +5,7 @@
    emission order; exporters render JSON-lines (one event per line, parse
    it back with {!read_jsonl}) or CSV. *)
 
-type kind = Solve | Certify | Plan | Epoch | Retransmit | Guarantee
+type kind = Solve | Certify | Plan | Epoch | Retransmit | Guarantee | Repair
 
 type attr =
   | Int of int
@@ -55,6 +55,7 @@ let kind_to_string = function
   | Epoch -> "epoch"
   | Retransmit -> "retransmit"
   | Guarantee -> "guarantee"
+  | Repair -> "repair"
 
 (* Declaration-order rank, so aggregators can sort without polymorphic
    compare and exporter output has one canonical kind order. *)
@@ -65,6 +66,7 @@ let kind_rank = function
   | Epoch -> 3
   | Retransmit -> 4
   | Guarantee -> 5
+  | Repair -> 6
 
 let compare_kind a b = Int.compare (kind_rank a) (kind_rank b)
 
@@ -75,6 +77,7 @@ let kind_of_string = function
   | "epoch" -> Some Epoch
   | "retransmit" -> Some Retransmit
   | "guarantee" -> Some Guarantee
+  | "repair" -> Some Repair
   | _ -> None
 
 (* ---- JSON-lines ---- *)

@@ -9,8 +9,9 @@
 
 (** The instrumented span kinds: LP solves, certification passes, planner
     decisions, whole simulated collection rounds, individual link-layer
-    retransmissions, and statistical (ε, δ) guarantee computations. *)
-type kind = Solve | Certify | Plan | Epoch | Retransmit | Guarantee
+    retransmissions, statistical (ε, δ) guarantee computations, and
+    self-healing plan-surgery passes. *)
+type kind = Solve | Certify | Plan | Epoch | Retransmit | Guarantee | Repair
 
 type attr = Int of int | Float of float | Str of string | Bool of bool
 

@@ -150,13 +150,20 @@ let test_replan_upgrades_empty_plan () =
   | Prospector.Replan.Kept -> Alcotest.fail "should have disseminated"
 
 let test_replan_force () =
-  let topo, _, _ = replan_setup 3 in
+  let topo, cost, samples = replan_setup 3 in
   let a = Prospector.Plan.make topo (Array.make topo.Sensor.Topology.n 0) in
   let b = Prospector.Proof_exec.min_bandwidth_plan topo in
   let state = Prospector.Replan.create ~initial:a () in
-  Prospector.Replan.force state b;
+  let g = Prospector.Replan.force state topo cost b ~k:4 samples in
   Alcotest.(check int) "counted" 1 (Prospector.Replan.replans state);
-  Alcotest.(check bool) "installed" true (Prospector.Replan.current state == b)
+  Alcotest.(check bool) "installed" true (Prospector.Replan.current state == b);
+  (* Forced installs are disseminations too: they must carry the same
+     machine-checkable default-confidence bound [consider] attaches. *)
+  (match Prospector.Guarantee.validate g with
+  | Ok () -> ()
+  | Error reason -> Alcotest.fail ("forced install bound invalid: " ^ reason));
+  Alcotest.(check (float 0.)) "no LP certificate folded in" 0.
+    g.Prospector.Guarantee.lp_eps
 
 let test_expected_accuracy_bounds () =
   let topo, cost, samples = replan_setup 4 in

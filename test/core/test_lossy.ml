@@ -27,12 +27,21 @@ let drop_rates = [ 0.; 0.05; 0.2 ]
 let n_seeds = 50
 
 (* One scenario per seed: a random topology and reading set, exercised at
-   each drop rate by all four message-level executors. *)
+   each drop rate by all four message-level executors.
+
+   The retry schedule is bounded, so "recoverable" loss is only
+   recoverable with overwhelming probability: at the highest drop rate a
+   frame can exhaust every retry (p ~ per-round-loss ^ retries; QCheck
+   input 2900 finds one).  The property is therefore: loss is invisible
+   {e unless} the engine declared the link dead after fighting for it —
+   darkness is always accounted (dark set + retransmissions), never
+   silent, and only then may the answer degrade or the energy dip below
+   the lossless baseline (fast-fail stops paying for a dead link). *)
 let recoverable_loss_is_invisible =
   QCheck.Test.make
     ~name:
-      "recoverable loss: exact analytic answers, no dark nodes, energy only \
-       goes up" ~count:n_seeds
+      "recoverable loss: exact analytic answers and dominated energy unless \
+       a link died fighting" ~count:n_seeds
     (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
     (fun seed ->
       let rng = Rng.create (seed + 81) in
@@ -69,42 +78,59 @@ let recoverable_loss_is_invisible =
             Prospector.Simnet_protocols.exact topo mica ~fault:(fault ()) pplan
               ~k ~readings ()
           in
-          let energies =
+          (* (answer exact, dark, retransmissions, energy) per executor *)
+          let runs =
             [
-              collect.Prospector.Simnet_exec.total_mj;
-              pull.Prospector.Simnet_protocols.total_mj;
-              pc.Prospector.Simnet_protocols.base
-                .Prospector.Simnet_protocols.total_mj;
-              ex.Prospector.Simnet_protocols.total_mj;
+              ( ids collect.Prospector.Simnet_exec.returned
+                = ids naive_k.Prospector.Naive.returned,
+                collect.Prospector.Simnet_exec.dark,
+                collect.Prospector.Simnet_exec.retransmissions,
+                collect.Prospector.Simnet_exec.total_mj );
+              ( ids pull.Prospector.Simnet_protocols.returned
+                = ids naive.Prospector.Naive.returned,
+                pull.Prospector.Simnet_protocols.dark,
+                pull.Prospector.Simnet_protocols.retransmissions,
+                pull.Prospector.Simnet_protocols.total_mj );
+              ( ids
+                  pc.Prospector.Simnet_protocols.base
+                    .Prospector.Simnet_protocols.returned
+                  = ids proof.Prospector.Proof_exec.result
+                && pc.Prospector.Simnet_protocols.proven_count
+                   = proof.Prospector.Proof_exec.proven_count,
+                pc.Prospector.Simnet_protocols.base
+                  .Prospector.Simnet_protocols.dark,
+                pc.Prospector.Simnet_protocols.base
+                  .Prospector.Simnet_protocols.retransmissions,
+                pc.Prospector.Simnet_protocols.base
+                  .Prospector.Simnet_protocols.total_mj );
+              ( ids ex.Prospector.Simnet_protocols.answer = truth,
+                ex.Prospector.Simnet_protocols.dark,
+                ex.Prospector.Simnet_protocols.retransmissions,
+                ex.Prospector.Simnet_protocols.total_mj );
             ]
           in
           let not_cheaper =
             (* The first rate in [drop_rates] is 0: the lossless reliable
-               run is the baseline every lossy run must dominate. *)
+               run is the baseline every clean lossy run must dominate.  A
+               run that declared a link dead is exempt — fast-fail stops
+               spending on the dead link. *)
             match !baseline with
             | None ->
-                baseline := Some energies;
+                baseline := Some (List.map (fun (_, _, _, e) -> e) runs);
                 true
             | Some base ->
-                List.for_all2 (fun e b -> e >= b -. 1e-9) energies base
+                List.for_all2
+                  (fun (_, dark, _, e) b -> dark <> [] || e >= b -. 1e-9)
+                  runs base
           in
-          ids collect.Prospector.Simnet_exec.returned
-          = ids naive_k.Prospector.Naive.returned
-          && ids pull.Prospector.Simnet_protocols.returned
-             = ids naive.Prospector.Naive.returned
-          && ids
-               pc.Prospector.Simnet_protocols.base
-                 .Prospector.Simnet_protocols.returned
-             = ids proof.Prospector.Proof_exec.result
-          && pc.Prospector.Simnet_protocols.proven_count
-             = proof.Prospector.Proof_exec.proven_count
-          && ids ex.Prospector.Simnet_protocols.answer = truth
-          && collect.Prospector.Simnet_exec.dark = []
-          && pull.Prospector.Simnet_protocols.dark = []
-          && pc.Prospector.Simnet_protocols.base.Prospector.Simnet_protocols
-               .dark
-             = []
-          && ex.Prospector.Simnet_protocols.dark = []
+          List.for_all
+            (fun (exact_answer, dark, retrans, _) ->
+              if dark = [] then exact_answer
+              else
+                (* Accounted degradation: a dead link was fought for
+                   (retries on the air) before being declared. *)
+                drop > 0. && retrans > 0)
+            runs
           && not_cheaper
           && ((drop > 0.)
              || collect.Prospector.Simnet_exec.retransmissions = 0))
@@ -298,8 +324,67 @@ let transient_crash_recovers =
       && r.Prospector.Simnet_exec.total_mj
          >= clean.Prospector.Simnet_exec.total_mj -. 1e-9)
 
+(* All three fault classes stacked on one run: a permanent crash riding on
+   burst windows over Bernoulli drops.  The recoverable layers must stay
+   invisible (dark is exactly the crashed closure, the answer is the top k
+   of the survivors) and the whole composite must be deterministic per
+   seed — including the give-up ledger the self-healing layer feeds on. *)
+let combined_faults_compose =
+  QCheck.Test.make
+    ~name:
+      "crash + burst + bernoulli: dark is exactly the crashed closure, \
+       deterministic, give-ups accounted" ~count:n_seeds
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000))
+    (fun seed ->
+      let rng = Rng.create (seed + 88) in
+      let n = 3 + Rng.int rng 15 in
+      let k = 1 + Rng.int rng 4 in
+      let topo = random_tree rng n in
+      let readings = random_readings rng n in
+      let dead = 1 + Rng.int rng (n - 1) in
+      let fault =
+        Simnet.Fault.with_crashes
+          (Simnet.Fault.with_burst
+             (Simnet.Fault.bernoulli ~n ~drop:0.05)
+             ~mean_length:0.02)
+          [ (dead, 0., infinity) ]
+      in
+      let plan = full_plan topo ~k in
+      let run () =
+        Prospector.Simnet_exec.collect topo mica
+          ~fault:(fault, Rng.create (seed + 19))
+          plan ~k ~readings
+      in
+      let a = run () and b = run () in
+      let expected_dark =
+        List.sort_uniq compare (Sensor.Topology.descendants topo dead)
+      in
+      a.Prospector.Simnet_exec.dark = expected_dark
+      && ids a.Prospector.Simnet_exec.returned
+         = ids (alive_top_k topo readings ~k ~dead)
+      (* One frame per directed link per collection, so the engine's
+         give-up counter and the executor's timestamped ledger agree. *)
+      && a.Prospector.Simnet_exec.gave_up_frames
+         = List.length a.Prospector.Simnet_exec.give_ups
+      && List.for_all
+           (fun (dst, at) -> List.mem dst expected_dark && at > 0.)
+           a.Prospector.Simnet_exec.give_ups
+      (* Bit-identical re-run, loss bookkeeping included. *)
+      && a.Prospector.Simnet_exec.returned = b.Prospector.Simnet_exec.returned
+      && a.Prospector.Simnet_exec.total_mj = b.Prospector.Simnet_exec.total_mj
+      && a.Prospector.Simnet_exec.per_node_mj
+         = b.Prospector.Simnet_exec.per_node_mj
+      && a.Prospector.Simnet_exec.retransmissions
+         = b.Prospector.Simnet_exec.retransmissions
+      && a.Prospector.Simnet_exec.dark = b.Prospector.Simnet_exec.dark
+      && a.Prospector.Simnet_exec.give_ups = b.Prospector.Simnet_exec.give_ups)
+
+(* A pinned generator state: the sampled inputs are arbitrary but fixed,
+   so the suite is reproducible run to run. *)
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest
+  List.map
+    (fun t ->
+      QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x10557 |]) t)
     [
       recoverable_loss_is_invisible;
       lossless_reliable_equals_legacy;
@@ -308,6 +393,7 @@ let qcheck_cases =
       crashed_subtree_goes_dark;
       exact_protocol_survives_crash;
       transient_crash_recovers;
+      combined_faults_compose;
     ]
 
 let () = Alcotest.run "lossy" [ ("properties", qcheck_cases) ]

@@ -375,6 +375,57 @@ let test_same_seed_same_run () =
   let a = run () and b = run () in
   Alcotest.(check bool) "bit-identical repeat" true (a = b)
 
+let test_combined_faults_deterministic () =
+  (* All three fault layers at once: node 1 permanently crashed, burst
+     windows opening over Bernoulli drops.  The relay through the crashed
+     node must be abandoned (give-up handler and counter agree), and the
+     composite run must be bit-identical under the same seed. *)
+  let run () =
+    let topo = chain 4 in
+    let fault =
+      Simnet.Fault.with_crashes
+        (Simnet.Fault.with_burst
+           (Simnet.Fault.bernoulli ~n:4 ~drop:0.1)
+           ~mean_length:0.05)
+        [ (1, 0., infinity) ]
+    in
+    let engine =
+      Simnet.Engine.create topo mica
+        ~fault:(fault, Rng.create 23)
+        ~payload_bytes:(fun _ -> 6)
+        ()
+    in
+    let delivered = ref 0 and abandoned = ref [] in
+    Simnet.Engine.on_message engine ~node:3 (fun api ~src:_ v ->
+        api.Simnet.Engine.send ~dst:2 v);
+    Simnet.Engine.on_message engine ~node:2 (fun api ~src:_ v ->
+        api.Simnet.Engine.send ~dst:1 v);
+    Simnet.Engine.on_message engine ~node:1 (fun api ~src:_ v ->
+        api.Simnet.Engine.send ~dst:0 v);
+    Simnet.Engine.on_message engine ~node:0 (fun _ ~src:_ _ -> incr delivered);
+    Simnet.Engine.on_give_up engine ~node:2 (fun _ ~dst msg ->
+        abandoned := (dst, msg) :: !abandoned);
+    Simnet.Engine.inject engine ~node:3 7;
+    let t = Simnet.Engine.run ~max_events:1_000_000 engine in
+    ( !delivered,
+      !abandoned,
+      Simnet.Engine.gave_up engine,
+      Simnet.Engine.dead_links engine,
+      Simnet.Engine.retransmissions_sent engine,
+      Simnet.Engine.total_energy engine,
+      t )
+  in
+  let ((delivered, abandoned, gave_up, dead_links, _, _, _) as a) = run () in
+  Alcotest.(check int) "crash blocks delivery to the root" 0 delivered;
+  Alcotest.(check (list (pair int int))) "hop 2->1 abandoned" [ (1, 7) ]
+    abandoned;
+  Alcotest.(check int) "give-up counter matches handler calls"
+    (List.length abandoned) gave_up;
+  Alcotest.(check (list (pair int int))) "the crashed link is declared dead"
+    [ (2, 1) ] dead_links;
+  let b = run () in
+  Alcotest.(check bool) "bit-identical under the composite fault" true (a = b)
+
 let test_engine_livelock_guard () =
   let topo = chain 2 in
   let engine = Simnet.Engine.create topo mica ~payload_bytes:(fun _ -> 0) () in
@@ -425,5 +476,7 @@ let () =
           Alcotest.test_case "crash window outlasted by retries" `Quick
             test_crash_window_recovery;
           Alcotest.test_case "same seed, same run" `Quick test_same_seed_same_run;
+          Alcotest.test_case "crash + burst + bernoulli composite" `Quick
+            test_combined_faults_deterministic;
         ] );
     ]

@@ -17,7 +17,7 @@ let usage () =
    real comparisons so a broken comparator can never wave regressions
    through. *)
 let self_test () =
-  let record ~ms ~iters =
+  let record ?(mj = 6.5) ~ms ~iters () =
     Obs.Json.Obj
       [
         ( "lp_solve_times",
@@ -34,12 +34,22 @@ let self_test () =
           Obs.Json.Obj
             [ ("cold_ms", Obs.Json.Num ms); ("warm_iterations", Obs.Json.Num 0.) ]
         );
+        (* Churn-record keys: surgery latency is tolerance-gated like any
+           solve time; the install/recovery energies are model-derived and
+           deterministic per seed, so the gate holds them exact. *)
+        ( "churn",
+          Obs.Json.Obj
+            [
+              ("repair_ms", Obs.Json.Num ms);
+              ("recovery_mj", Obs.Json.Num mj);
+              ("delta_install_mj", Obs.Json.Num (mj /. 2.));
+            ] );
         (* Frozen history must never be gated, however wrong it looks. *)
         ( "pr1_seed_baseline",
           Obs.Json.Obj [ ("ms_per_solve", Obs.Json.Num (100. *. ms)) ] );
       ]
   in
-  let baseline = record ~ms:20. ~iters:100. in
+  let baseline = record ~ms:20. ~iters:100. () in
   let check name ~expect fresh =
     let v = Obs.Gate.compare_values ~baseline ~fresh () in
     if v.Obs.Gate.pass <> expect then begin
@@ -50,11 +60,16 @@ let self_test () =
     end
   in
   check "identity" ~expect:true baseline;
-  check "within tolerance" ~expect:true (record ~ms:24. ~iters:101.);
-  check "2x time inflation" ~expect:false (record ~ms:40. ~iters:100.);
-  check "2x iteration inflation" ~expect:false (record ~ms:20. ~iters:200.);
+  check "within tolerance" ~expect:true (record ~ms:24. ~iters:101. ());
+  check "2x time inflation" ~expect:false (record ~ms:40. ~iters:100. ());
+  check "2x iteration inflation" ~expect:false (record ~ms:20. ~iters:200. ());
   check "large improvement also fails" ~expect:false
-    (record ~ms:5. ~iters:100.);
+    (record ~ms:5. ~iters:100. ());
+  (* Energies are deterministic: a drift far inside the relative
+     tolerance still fails, while float noise at 1e-9 scale passes. *)
+  check "energy drift" ~expect:false (record ~mj:6.51 ~ms:20. ~iters:100. ());
+  check "energy fp noise" ~expect:true
+    (record ~mj:(6.5 +. 1e-10) ~ms:20. ~iters:100. ());
   (let missing = Obs.Json.Obj [ ("unrelated", Obs.Json.Num 1.) ] in
    check "missing gated keys" ~expect:false missing);
   print_endline "bench_gate self-test: PASS"
