@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Run one named CI step under wall-clock timing.
+#
+#   .github/scripts/timed.sh <step-name> <command...>
+#
+# Appends "<step-name> <seconds> <exit-status>" to the timing log
+# ($STEP_TIMINGS_FILE, default step_timings.txt) and propagates the
+# command's exit status, so a job's final summary step can publish a
+# per-step timing table into $GITHUB_STEP_SUMMARY even when a step failed.
+set -uo pipefail
+
+name="$1"
+shift
+
+start=$(date +%s)
+"$@"
+status=$?
+end=$(date +%s)
+
+echo "$name $((end - start)) $status" >> "${STEP_TIMINGS_FILE:-step_timings.txt}"
+exit "$status"

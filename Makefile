@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test stress bench bench-quick bench-json bench-certify \
-	bench-telemetry bench-guarantee bench-churn guarantee churn gate lint \
-	examples clean
+	bench-telemetry bench-guarantee bench-churn bench-serve serve-demo \
+	guarantee churn gate lint examples clean
 
 all: build
 
@@ -72,18 +72,35 @@ churn:
 	CHURN_SUMMARY=$(CURDIR)/_churn_sweep.json \
 	  dune exec test/core/test_churn.exe
 
-# Perf-regression gate: regenerate both perf records into _gate_fresh_*
+# Serving-layer record: cold vs cache-hit vs pooled-warm latencies, the
+# mixed hit-traffic speedup, domain-scaling makespans and the cache/pool
+# counters over a seeded multi-tenant query stream; writes
+# BENCH_SERVE.json at the repo root.  The bench itself enforces the
+# acceptance thresholds (>= 5x hit traffic vs cold, > 1.5x scaling 1->4).
+bench-serve:
+	dune exec bench/main.exe -- serve
+
+# Walk every serving regime (cold / coalesced / cache / pool / certified
+# guarantee) on a tiny two-tenant server and print the stats and trace.
+serve-demo:
+	dune exec bin/serve_demo.exe
+
+# Perf-regression gate: regenerate the perf records into _gate_fresh_*
 # scratch files (never over the committed baselines) and compare each
-# against its committed BENCH_PR<n>.json within the gate's tolerances.
-# The comparator self-test runs first so a broken gate can't pass anything.
+# against its committed BENCH_*.json within the gate's tolerances
+# (±30% on latencies, exact on deterministic energies and serving
+# counters).  The comparator self-test runs first so a broken gate can't
+# pass anything.
 gate:
 	dune exec tools/bench_gate.exe -- --self-test
 	dune exec bench/main.exe -- --json _gate_fresh_pr1.json
 	dune exec bench/main.exe -- certify --out _gate_fresh_pr3.json
 	dune exec bench/main.exe -- churn --out _gate_fresh_churn.json
+	dune exec bench/main.exe -- serve --out _gate_fresh_serve.json
 	dune exec tools/bench_gate.exe -- BENCH_PR1.json _gate_fresh_pr1.json
 	dune exec tools/bench_gate.exe -- BENCH_PR3.json _gate_fresh_pr3.json
 	dune exec tools/bench_gate.exe -- BENCH_CHURN.json _gate_fresh_churn.json
+	dune exec tools/bench_gate.exe -- BENCH_SERVE.json _gate_fresh_serve.json
 
 # AST-level invariant lint (tools/repolint): determinism, hash-order,
 # polymorphic comparison, partial accessors, stdout hygiene.  Fails on

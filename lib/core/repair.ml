@@ -5,7 +5,9 @@
    instance — dead nodes keep their variables, only their activation
    upper bound drops to 0 (see Lp_lf ?alive) — so the warm-start basis
    from the previous solve stays applicable and a repair is a perturbed
-   re-solve, not a cold one. *)
+   re-solve, not a cold one.  Whether a token actually fits is decided by
+   the LP layer's one shape predicate (Lp.Model.basis_compatible), applied
+   inside Robust_plan.solve on the way to the solver. *)
 
 let m_surgeries = Obs.Metrics.counter "repair.surgeries"
 let m_unnecessary = Obs.Metrics.counter "repair.unnecessary"

@@ -52,8 +52,9 @@ let force t topo cost plan ~k samples =
 let consider ?max_lp_iterations ?lp_deadline ?guarantee t topo cost mica
     samples ~k ~budget =
   (* Successive epochs re-solve nearly identical LPs: reuse the previous
-     epoch's final basis.  When the sample window changes the LP's shape the
-     token is silently ignored and the solve starts cold. *)
+     epoch's final basis.  When the sample window changes the LP's shape,
+     Robust_plan.solve drops the token via the LP layer's shared
+     Lp.Model.basis_compatible predicate and the solve starts cold. *)
   Obs.Metrics.incr m_considered;
   Obs.Metrics.incr (if t.warm <> None then m_warm_hits else m_warm_misses);
   let r =

@@ -11,6 +11,7 @@ type provenance = Certified_revised | Certified_dense | Fell_back_greedy
 let m_certified_revised = Obs.Metrics.counter "planner.certified_revised"
 let m_certified_dense = Obs.Metrics.counter "planner.certified_dense"
 let m_chain_failures = Obs.Metrics.counter "planner.chain_failures"
+let m_warm_incompatible = Obs.Metrics.counter "planner.warm_incompatible"
 
 type lp_result = {
   solution : Lp.Model.solution;
@@ -24,6 +25,19 @@ type failure =
   | No_certified_solution of string list
 
 let solve ?warm_start ?max_iterations ?deadline model =
+  (* Every planner (Replan, Repair, the serving layer's warm-basis pool)
+     funnels its warm-start tokens through here, so this one call to the
+     LP layer's shared predicate is the basis-compatibility check for all
+     of them: a stale token from a differently shaped instance is dropped
+     — and counted — instead of relying on each caller to re-derive the
+     shape rule. *)
+  let warm_start =
+    match warm_start with
+    | Some b when not (Lp.Model.basis_compatible model b) ->
+        Obs.Metrics.incr m_warm_incompatible;
+        None
+    | w -> w
+  in
   let sol, report =
     Lp.Model.solve_certified ?warm_start ?max_iterations ?deadline model
   in

@@ -47,7 +47,12 @@ val solve :
 (** Run the chain on a model.  [max_iterations] caps the revised solver's
     pivots and the dense solver's total pivots alike (so tests can cripple
     both stages); [deadline] is a wall-clock budget for the revised stage.
-    Never raises on solver failure: the worst outcome is
+    [warm_start] is validated against the model with the LP layer's shared
+    {!Lp.Model.basis_compatible} predicate — the single implementation of
+    the shape rule for every planner routing through this chain ([Replan],
+    [Repair], the serving layer's warm-basis pool); an incompatible token
+    is dropped (counted as [planner.warm_incompatible]) and the solve
+    starts cold.  Never raises on solver failure: the worst outcome is
     [Error (No_certified_solution _)], which a planner answers with its
     greedy fallback. *)
 

@@ -187,6 +187,17 @@ let to_problem t =
     basis_hint = Some hint;
   }
 
+let basis_shape b = (b.b_nvars, b.b_nrows)
+
+(* THE basis-compatibility predicate.  The lowering maps variable [v] to
+   column [v] and row [i]'s slack to column [nvars + i], so (nvars, nrows)
+   equality is exactly what makes a basis portable across solves (and
+   across freshly built models of the same shape).  Every consumer of a
+   warm-start token — [solve] itself, the certified fallback chain, the
+   serving layer's warm-basis pool — must route through this one
+   implementation instead of re-deriving the shape check. *)
+let basis_compatible t b = b.b_nvars = t.nvars && b.b_nrows = t.nrows
+
 let objective_of t values =
   let acc = ref 0. in
   for j = 0 to t.nvars - 1 do
@@ -213,13 +224,11 @@ let map_status = function
    raw solver result so {!solve_certified} can re-check them. *)
 let solve_raw ?max_iterations ?deadline ?bland_after ?warm_start t =
   let prob = to_problem t in
-  (* A warm basis is only meaningful for a model of identical shape: the
-     lowering maps variable [v] to column [v] and row [i]'s slack to
-     column [nvars + i], so (nvars, nrows) equality makes bases portable
-     across solves (and across freshly built models of the same shape). *)
+  (* A warm basis is only meaningful for a model of identical shape; the
+     shared {!basis_compatible} predicate decides. *)
   let basis =
     match warm_start with
-    | Some w when w.b_nvars = t.nvars && w.b_nrows = t.nrows ->
+    | Some w when basis_compatible t w ->
         Obs.Metrics.incr m_warm_supplied;
         Obs.Metrics.incr m_warm_used;
         Some w.rb

@@ -13,7 +13,7 @@
    slack instead, covering legitimate zero baselines (a perfect warm
    start re-solves in 0 iterations). *)
 
-type key_class = Time_ms | Iterations | Energy_mj
+type key_class = Time_ms | Iterations | Energy_mj | Count
 
 type outcome = {
   path : string;
@@ -64,9 +64,17 @@ let classify path =
       | Some i -> String.sub path (i + 1) (String.length path - i - 1)
     in
     match last with
-    | "ms_per_solve" | "solve_ms" | "cold_ms" | "warm_ms" | "repair_ms" ->
+    | "ms_per_solve" | "solve_ms" | "cold_ms" | "warm_ms" | "repair_ms"
+    | "pooled_warm_ms" | "cache_hit_ms" | "makespan_ms" | "ms_per_query" ->
         Some Time_ms
     | "recovery_mj" | "delta_install_mj" -> Some Energy_mj
+    (* Serving-layer cache/pool tallies: the workload is a fixed seeded
+       stream, so every hit/miss/eviction count is deterministic and the
+       gate holds it exactly — a count drift is a behavior change in
+       admission, caching or eviction, never noise. *)
+    | "cache_hits" | "cache_misses" | "range_hits" | "pool_hits"
+    | "cold_misses" | "coalesced" | "evictions" | "refused" ->
+        Some Count
     | _ ->
         let n = String.length last in
         if
@@ -100,6 +108,9 @@ let compare_values ?(tolerance = default_tolerance) ?(min_ms = default_min_ms)
                 if skipped then true
                 else if cls = Iterations && Float.abs (f -. b) <= iter_slack
                 then true
+                else if cls = Count then
+                  (* integer tallies of a deterministic workload: exact *)
+                  Float.abs (f -. b) = 0.
                 else if cls = Energy_mj then
                   (* model-derived, deterministic per seed: exact up to fp,
                      never the relative tolerance — an energy drift is a

@@ -2,20 +2,24 @@
 
     Flattens baseline and fresh records to dotted numeric paths and checks
     every {e gated} key — solve-time leaves ([ms_per_solve], [solve_ms],
-    [cold_ms], [warm_ms], [repair_ms]) and iteration-count leaves
+    [cold_ms], [warm_ms], [repair_ms], [pooled_warm_ms], [cache_hit_ms],
+    [makespan_ms], [ms_per_query]) and iteration-count leaves
     ([*iterations]) —
     within a two-sided relative tolerance, plus energy leaves
     ([recovery_mj], [delta_install_mj]) which are model-derived and
     deterministic per seed, so the gate holds them exact (up to float
     noise) — an energy drift is a behavior change, never measurement
-    noise.  Two-sided on purpose: the
+    noise — and serving-layer cache/pool tallies ([cache_hits],
+    [cache_misses], [range_hits], [pool_hits], [cold_misses], [coalesced],
+    [evictions], [refused]), integer counts of a deterministic workload
+    that the gate holds exactly.  Two-sided on purpose: the
     baseline is an enforced trajectory, so a large improvement fails too
     until the baseline is refreshed and committed.  Sub-millisecond timing
     keys are skipped (noise-dominated); iteration keys carry a small
     absolute slack so a zero-iteration warm start compares cleanly.  The
     frozen [pr1_seed_baseline] block is never gated. *)
 
-type key_class = Time_ms | Iterations | Energy_mj
+type key_class = Time_ms | Iterations | Energy_mj | Count
 
 type outcome = {
   path : string;  (** dotted path, array elements as [name[i]] *)

@@ -5,7 +5,8 @@
    emission order; exporters render JSON-lines (one event per line, parse
    it back with {!read_jsonl}) or CSV. *)
 
-type kind = Solve | Certify | Plan | Epoch | Retransmit | Guarantee | Repair
+type kind =
+  | Solve | Certify | Plan | Epoch | Retransmit | Guarantee | Repair | Serve
 
 type attr =
   | Int of int
@@ -56,6 +57,7 @@ let kind_to_string = function
   | Retransmit -> "retransmit"
   | Guarantee -> "guarantee"
   | Repair -> "repair"
+  | Serve -> "serve"
 
 (* Declaration-order rank, so aggregators can sort without polymorphic
    compare and exporter output has one canonical kind order. *)
@@ -67,6 +69,7 @@ let kind_rank = function
   | Retransmit -> 4
   | Guarantee -> 5
   | Repair -> 6
+  | Serve -> 7
 
 let compare_kind a b = Int.compare (kind_rank a) (kind_rank b)
 
@@ -78,6 +81,7 @@ let kind_of_string = function
   | "retransmit" -> Some Retransmit
   | "guarantee" -> Some Guarantee
   | "repair" -> Some Repair
+  | "serve" -> Some Serve
   | _ -> None
 
 (* ---- JSON-lines ---- *)

@@ -9,9 +9,11 @@
 
 (** The instrumented span kinds: LP solves, certification passes, planner
     decisions, whole simulated collection rounds, individual link-layer
-    retransmissions, statistical (ε, δ) guarantee computations, and
-    self-healing plan-surgery passes. *)
-type kind = Solve | Certify | Plan | Epoch | Retransmit | Guarantee | Repair
+    retransmissions, statistical (ε, δ) guarantee computations,
+    self-healing plan-surgery passes, and serving-layer admission
+    batches. *)
+type kind =
+  | Solve | Certify | Plan | Epoch | Retransmit | Guarantee | Repair | Serve
 
 type attr = Int of int | Float of float | Str of string | Bool of bool
 

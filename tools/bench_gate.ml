@@ -17,7 +17,7 @@ let usage () =
    real comparisons so a broken comparator can never wave regressions
    through. *)
 let self_test () =
-  let record ?(mj = 6.5) ~ms ~iters () =
+  let record ?(mj = 6.5) ?(hits = 300.) ~ms ~iters () =
     Obs.Json.Obj
       [
         ( "lp_solve_times",
@@ -43,6 +43,18 @@ let self_test () =
               ("repair_ms", Obs.Json.Num ms);
               ("recovery_mj", Obs.Json.Num mj);
               ("delta_install_mj", Obs.Json.Num (mj /. 2.));
+            ] );
+        (* Serve-record keys: latencies are tolerance-gated; the cache/pool
+           tallies come from a fixed seeded query stream, so the gate holds
+           them exactly — a count drift is an admission/caching behavior
+           change, never noise. *)
+        ( "serve",
+          Obs.Json.Obj
+            [
+              ("pooled_warm_ms", Obs.Json.Num (ms /. 4.));
+              ("makespan_ms", Obs.Json.Num (8. *. ms));
+              ("cache_hits", Obs.Json.Num hits);
+              ("coalesced", Obs.Json.Num 25.);
             ] );
         (* Frozen history must never be gated, however wrong it looks. *)
         ( "pr1_seed_baseline",
@@ -70,6 +82,10 @@ let self_test () =
   check "energy drift" ~expect:false (record ~mj:6.51 ~ms:20. ~iters:100. ());
   check "energy fp noise" ~expect:true
     (record ~mj:(6.5 +. 1e-10) ~ms:20. ~iters:100. ());
+  (* Serving counts are exact: off by one fails, identical passes (already
+     covered by the identity check above). *)
+  check "cache-count drift" ~expect:false
+    (record ~hits:301. ~ms:20. ~iters:100. ());
   (let missing = Obs.Json.Obj [ ("unrelated", Obs.Json.Num 1.) ] in
    check "missing gated keys" ~expect:false missing);
   print_endline "bench_gate self-test: PASS"
