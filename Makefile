@@ -2,7 +2,7 @@
 
 .PHONY: all build test stress bench bench-quick bench-json bench-certify \
 	bench-telemetry bench-guarantee bench-churn bench-serve serve-demo \
-	guarantee churn gate lint examples clean
+	guarantee churn gate lint lint-baseline examples clean
 
 all: build
 
@@ -102,11 +102,23 @@ gate:
 	dune exec tools/bench_gate.exe -- BENCH_CHURN.json _gate_fresh_churn.json
 	dune exec tools/bench_gate.exe -- BENCH_SERVE.json _gate_fresh_serve.json
 
-# AST-level invariant lint (tools/repolint): determinism, hash-order,
-# polymorphic comparison, partial accessors, stdout hygiene.  Fails on
-# any finding not accepted by lint_baseline.txt; writes a JSON report.
+# Typed invariant lint (tools/repolint): determinism, hash-order,
+# polymorphic comparison, partial accessors, stdout hygiene, plus the
+# interprocedural certification-taint (R6) and domain-safety (R7) rules.
+# The engine consumes dune-produced .cmt typedtrees, so the tree must be
+# built first (@check materialises .cmt files @all alone leaves out).
+# Exit 1 = fresh findings, exit 3 = stale baseline entries; writes a
+# JSON report (schema repolint/2).
 lint:
+	dune build @all @check
 	dune exec tools/repolint/repolint.exe -- --json _lint_report.json
+
+# Regenerate lint_baseline.txt from the current findings.  Keep the
+# baseline empty when you can: prefer fixing, or a scoped
+# [@lint.allow "Rn"] next to the offending expression.
+lint-baseline:
+	dune build @all @check
+	dune exec tools/repolint/repolint.exe -- --write-baseline
 
 examples:
 	dune exec examples/quickstart.exe

@@ -163,6 +163,14 @@ let plan_with_guarantee ?(max_escalations = 6) ?(growth = 1.5) ~eps ~delta
   end
   else ladder 1 first
 
+let provenance_equal a b =
+  match (a, b) with
+  | Certified_revised, Certified_revised
+  | Certified_dense, Certified_dense
+  | Fell_back_greedy, Fell_back_greedy ->
+      true
+  | (Certified_revised | Certified_dense | Fell_back_greedy), _ -> false
+
 let pp_provenance ppf = function
   | Certified_revised -> Format.pp_print_string ppf "certified-revised"
   | Certified_dense -> Format.pp_print_string ppf "certified-dense"

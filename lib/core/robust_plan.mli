@@ -56,6 +56,9 @@ val solve :
     [Error (No_certified_solution _)], which a planner answers with its
     greedy fallback. *)
 
+val provenance_equal : provenance -> provenance -> bool
+(** Structural equality on {!provenance} (avoids polymorphic [=]). *)
+
 val pp_provenance : Format.formatter -> provenance -> unit
 val pp_failure : Format.formatter -> failure -> unit
 

@@ -1,3 +1,8 @@
+(* table1's sole purpose is printing the Section-2 MICA2 constants table
+   to stdout from the experiments CLI, so stdout hygiene is waived for
+   the whole file. *)
+[@@@lint.allow "R5"]
+
 let run () =
   Format.printf "@.== Table (Section 2): MICA2 energy constants ==@.%a@.@."
     Sensor.Mica2.pp Sensor.Mica2.default

@@ -8,6 +8,15 @@ type direction = Minimize | Maximize
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
+let status_equal a b =
+  match (a, b) with
+  | Optimal, Optimal
+  | Infeasible, Infeasible
+  | Unbounded, Unbounded
+  | Iteration_limit, Iteration_limit ->
+      true
+  | (Optimal | Infeasible | Unbounded | Iteration_limit), _ -> false
+
 type row = { terms : (float * var) list; sense : sense; rhs : float; rname : string }
 
 type t = {

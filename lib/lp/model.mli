@@ -16,6 +16,11 @@ type direction = Minimize | Maximize
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
+val status_equal : status -> status -> bool
+(** Structural equality on {!status}.  Use this (not polymorphic [=])
+    when neither side is a literal; it stays correct if the variant
+    grows payload-carrying cases. *)
+
 type basis
 (** Opaque warm-start token: the simplex basis a solve ended with.  It can
     be passed to a later {!solve} of a model with the same variable and

@@ -16,7 +16,7 @@ let of_assoc pairs =
   (* Sum duplicates, then drop tiny entries. *)
   let rec merge acc = function
     | [] -> List.rev acc
-    | (i, x) :: rest -> (
+    | ((i : int), x) :: rest -> (
         match acc with
         | (j, y) :: acc' when i = j -> merge ((j, y +. x) :: acc') rest
         | _ -> merge ((i, x) :: acc) rest)

@@ -25,7 +25,8 @@ let small_instance seed =
   let samples = Sampling.Sample_set.draw rng f ~k ~count:8 in
   (topo, cost, samples, k, rng)
 
-let is_provenance = Alcotest.testable Prospector.Robust_plan.pp_provenance ( = )
+let is_provenance = Alcotest.testable Prospector.Robust_plan.pp_provenance
+    Prospector.Robust_plan.provenance_equal
 
 (* A plan is executable when [Exec.collect] accepts it and answers within
    the query size on a fresh epoch. *)

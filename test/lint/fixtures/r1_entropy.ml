@@ -2,3 +2,4 @@ let roll () = Random.int 6
 let now () = Unix.gettimeofday ()
 let h x = Hashtbl.hash x
 let t () = Sys.time ()
+let seeded () = Random.State.int (Random.State.make [| 7 |]) 6

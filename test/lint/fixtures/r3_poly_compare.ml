@@ -1,6 +1,12 @@
-let worst a b = compare a b
-let biggest a b = max a b
-let same_pair a b c d = (a, b) = (c, d)
+type point = { px : int; py : float }
+
+let worst (a : point) b = compare a b
+let biggest (a : point option) b = max a b
+let same (a : point) b = a = b
+let anything a b = a = b
 let fine = max 1 2
 let fine2 a = a = 0
 let fine3 s = List.sort String.compare s
+let fine4 (l : int list) m = l = m
+let fine5 (p : int * float) q = compare p q
+let fine6 (xs : float array) = xs = [| 1.0 |]

@@ -1,0 +1,14 @@
+(* R6 suppression at expression and binding scope. *)
+
+let problem () : Lp.Problem.t = failwith "fixture"
+let plan_of (_ : Lp.Revised.result) : Prospector.Plan.t = failwith "fixture"
+
+let expr_scope () =
+  let plan = plan_of (Lp.Revised.solve (problem ())) in
+  ignore (Prospector.Replan.create ~initial:plan () [@lint.allow "R6"])
+
+let binding_scope () =
+  let plan = plan_of (Lp.Revised.solve (problem ())) in
+  let t = Prospector.Replan.create ~initial:plan () in
+  ignore t
+[@@lint.allow "R6"]

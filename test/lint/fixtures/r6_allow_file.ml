@@ -1,0 +1,10 @@
+[@@@lint.allow "R6"]
+
+(* R6 suppression at file scope: everything below is allowed. *)
+
+let problem () : Lp.Problem.t = failwith "fixture"
+let plan_of (_ : Lp.Revised.result) : Prospector.Plan.t = failwith "fixture"
+
+let bad () =
+  let plan = plan_of (Lp.Revised.solve (problem ())) in
+  ignore (Prospector.Replan.create ~initial:plan ())

@@ -1,0 +1,18 @@
+(* R6 negative: the same flow through the certified chain is clean. *)
+
+let model () : Lp.Model.t = failwith "fixture"
+let topo () : Sensor.Topology.t = failwith "fixture"
+let cost () : Sensor.Cost.t = failwith "fixture"
+let mica () : Sensor.Mica2.t = failwith "fixture"
+let samples () : Sampling.Sample_set.t = failwith "fixture"
+
+let plan_of (_ : Lp.Model.solution) (_ : Lp.Certify.report) : Prospector.Plan.t
+    =
+  failwith "fixture"
+
+let ok () =
+  let sol, report = Lp.Model.solve_certified (model ()) in
+  let plan = plan_of sol report in
+  let t = Prospector.Replan.create ~initial:plan () in
+  Prospector.Replan.consider t (topo ()) (cost ()) (mica ()) (samples ()) ~k:3
+    ~budget:10.

@@ -1,0 +1,8 @@
+(* R6 fire across modules: the tainted top-level value exported by
+   taint_source.ml reaches a sink here. *)
+
+let plan_of (_ : Lp.Revised.result) : Prospector.Plan.t = failwith "fixture"
+
+let bad () =
+  let plan = plan_of Taint_source.raw in
+  ignore (Prospector.Replan.create ~initial:plan ())

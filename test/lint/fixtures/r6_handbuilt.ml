@@ -1,0 +1,17 @@
+(* R6 fire: a hand-built solution record mints taint like a raw solve. *)
+
+let plan_of (_ : Lp.Model.solution) : Prospector.Plan.t = failwith "fixture"
+
+let bad () =
+  let sol : Lp.Model.solution =
+    {
+      status = Lp.Model.Optimal;
+      objective = 0.;
+      values = [||];
+      stats = None;
+      row_duals = None;
+      basis = None;
+    }
+  in
+  let plan = plan_of sol in
+  ignore (Prospector.Replan.create ~initial:plan ())

@@ -1,0 +1,16 @@
+(* R6 fire: a raw Revised.solve result is laundered into Replan
+   dissemination without ever passing the certified chain. *)
+
+let problem () : Lp.Problem.t = failwith "fixture"
+let topo () : Sensor.Topology.t = failwith "fixture"
+let cost () : Sensor.Cost.t = failwith "fixture"
+let mica () : Sensor.Mica2.t = failwith "fixture"
+let samples () : Sampling.Sample_set.t = failwith "fixture"
+let plan_of (_ : Lp.Revised.result) : Prospector.Plan.t = failwith "fixture"
+
+let bad () =
+  let raw = Lp.Revised.solve (problem ()) in
+  let plan = plan_of raw in
+  let t = Prospector.Replan.create ~initial:plan () in
+  Prospector.Replan.consider t (topo ()) (cost ()) (mica ()) (samples ()) ~k:3
+    ~budget:10.

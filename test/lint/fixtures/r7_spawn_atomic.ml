@@ -1,0 +1,7 @@
+(* R7: atomic captures are fine, but the spawn site itself is still
+   outside every allowlisted fan-out region. *)
+
+let nearly_ok () =
+  let cursor = Atomic.make 0 in
+  let d = Domain.spawn (fun () -> Atomic.incr cursor) in
+  Domain.join d

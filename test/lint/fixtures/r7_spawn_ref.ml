@@ -1,0 +1,6 @@
+(* R7 fire: spawn outside any allowlisted region, capturing a ref. *)
+
+let bad () =
+  let counter = ref 0 in
+  let d = Domain.spawn (fun () -> incr counter) in
+  Domain.join d

@@ -1,0 +1,8 @@
+(* R7 fire one call deep: the spawned closure calls a local function
+   that mutates a captured hash table. *)
+
+let bad () =
+  let hits = Hashtbl.create 8 in
+  let bump () = Hashtbl.replace hits 0 1 in
+  let d = Domain.spawn (fun () -> bump ()) in
+  Domain.join d

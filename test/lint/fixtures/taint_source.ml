@@ -1,0 +1,5 @@
+(* Cross-module taint source: an uncertified solve exported at top
+   level.  Consumed by r6_cross_module.ml via the summary pass. *)
+
+let problem () : Lp.Problem.t = failwith "fixture"
+let raw = Lp.Revised.solve (problem ())

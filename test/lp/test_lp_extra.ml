@@ -192,7 +192,7 @@ let bigger_random_agreement =
       | Lp.Model.Optimal, Lp.Model.Optimal ->
           Float.abs (a.Lp.Model.objective -. b.Lp.Model.objective)
           <= 1e-5 *. (1. +. Float.abs b.Lp.Model.objective)
-      | sa, sb -> sa = sb)
+      | sa, sb -> Lp.Model.status_equal sa sb)
 
 let equality_rows_agreement =
   QCheck.Test.make ~name:"revised = dense with equality rows" ~count:100
@@ -226,7 +226,7 @@ let equality_rows_agreement =
       | Lp.Model.Optimal, Lp.Model.Optimal ->
           Float.abs (a.Lp.Model.objective -. b.Lp.Model.objective)
           <= 1e-5 *. (1. +. Float.abs b.Lp.Model.objective)
-      | sa, sb -> sa = sb)
+      | sa, sb -> Lp.Model.status_equal sa sb)
 
 (* ---------- LU extras ---------- *)
 

@@ -113,7 +113,7 @@ let presolve_preserves_optimum =
       | Lp.Model.Optimal, Lp.Model.Optimal ->
           Float.abs (plain.Lp.Model.objective -. pre.Lp.Model.objective)
           <= 1e-5 *. (1. +. Float.abs plain.Lp.Model.objective)
-      | a, b -> a = b)
+      | a, b -> Lp.Model.status_equal a b)
 
 (* ---------- Lp_format ---------- *)
 

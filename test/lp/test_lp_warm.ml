@@ -156,7 +156,7 @@ let warm_equals_cold_random =
           | Lp.Model.Optimal, Lp.Model.Optimal ->
               Float.abs (cold.Lp.Model.objective -. warm.Lp.Model.objective)
               <= 1e-5 *. (1. +. Float.abs cold.Lp.Model.objective)
-          | sc, sw -> sc = sw))
+          | sc, sw -> Lp.Model.status_equal sc sw))
 
 let () =
   Alcotest.run "lp-warm"

@@ -1,0 +1,88 @@
+(* Locating and loading dune-produced .cmt/.cmti typedtrees.
+
+   Rather than hard-coding dune's library-name mangling, the index scans
+   the build tree once for every *.cmt/*.cmti, reads each header and
+   keys it by [cmt_sourcefile] (which dune records repo-relative, e.g.
+   "lib/serve/server.ml").  Looking up a source file is then a pure map
+   probe; a source with no typedtree is a finding, not a silent skip
+   (see the PARSE pseudo-rule in the engine). *)
+
+type entry = {
+  cmt_path : string;
+  modname : string;
+  annots : Cmt_format.binary_annots;
+}
+
+type t = (string, string) Hashtbl.t
+(* source path -> cmt path.  Annotations are (re-)read on demand: the
+   engine walks each file at most twice (summary pass + rule pass) and
+   caching every typedtree would hold the whole repo's trees live. *)
+
+let normalize path =
+  let path =
+    if String.length path > 2 && String.equal (String.sub path 0 2) "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  String.map (fun c -> if c = '\\' then '/' else c) path
+
+let rec scan_dir dir acc =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry -> scan_dir (Filename.concat dir entry) acc)
+         acc
+  else if
+    Filename.check_suffix dir ".cmt" || Filename.check_suffix dir ".cmti"
+  then dir :: acc
+  else acc
+
+let read cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | cmt ->
+      Some
+        {
+          cmt_path;
+          modname = cmt.Cmt_format.cmt_modname;
+          annots = cmt.Cmt_format.cmt_annots;
+        }
+  | exception _ -> None
+
+let sourcefile_of cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | cmt -> Option.map normalize cmt.Cmt_format.cmt_sourcefile
+  | exception _ -> None
+
+(* Build the source -> cmt map for every typedtree under [roots].
+   Interfaces (.mli -> .cmti) and implementations (.ml -> .cmt) are both
+   indexed; when several build contexts produced a typedtree for the
+   same source the lexicographically first .cmt path wins, which is
+   deterministic across runs. *)
+let build ~roots : t =
+  let files = List.fold_left (fun acc r -> scan_dir r acc) [] roots in
+  let files = List.sort String.compare files in
+  let index = Hashtbl.create 256 in
+  List.iter
+    (fun cmt_path ->
+      (* .cmti is authoritative for .mli sources; .cmt for .ml.  A .cmti
+         never claims an .ml source, so suffix pairing keeps them apart. *)
+      match sourcefile_of cmt_path with
+      | Some src
+        when Filename.check_suffix src ".ml"
+             && Filename.check_suffix cmt_path ".cmt"
+             || Filename.check_suffix src ".mli"
+                && Filename.check_suffix cmt_path ".cmti" ->
+          if not (Hashtbl.mem index src) then Hashtbl.add index src cmt_path
+      | _ -> ())
+    files;
+  index
+
+let lookup (t : t) source = Hashtbl.find_opt t (normalize source)
+
+(* Direct association for tests: fixture sources live under synthetic
+   logical paths, so the test harness pairs them explicitly. *)
+let of_pairs pairs : t =
+  let index = Hashtbl.create 16 in
+  List.iter (fun (src, cmt) -> Hashtbl.replace index (normalize src) cmt) pairs;
+  index

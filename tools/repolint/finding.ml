@@ -3,7 +3,7 @@
    legacy sites survive message-wording tweaks but not code motion. *)
 
 type t = {
-  rule : string; (* "R1" .. "R5", or "PARSE" for unreadable files *)
+  rule : string; (* "R1" .. "R7", or "PARSE" for files with no typedtree *)
   file : string; (* repo-relative path, '/'-separated *)
   line : int;
   col : int;

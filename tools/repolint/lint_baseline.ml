@@ -36,3 +36,21 @@ let mem t finding =
 let stale t findings =
   let keys = List.map Finding.baseline_key findings in
   List.filter (fun e -> not (List.exists (String.equal e) keys)) t
+
+(* Deterministic regeneration (make lint-baseline): one key per current
+   finding, sorted and deduplicated, under a header explaining how the
+   file is maintained.  Writing an empty baseline produces just the
+   header, which is the steady state this repo aims for. *)
+let write file findings =
+  let keys =
+    List.map Finding.baseline_key findings |> List.sort_uniq String.compare
+  in
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        "# repolint baseline: accepted legacy findings, one key per line.\n\
+         # Regenerate with `make lint-baseline`; stale entries fail CI \
+         (exit 3).\n";
+      List.iter (fun k -> output_string oc (k ^ "\n")) keys)

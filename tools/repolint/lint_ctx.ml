@@ -1,0 +1,91 @@
+(* Shared per-file analysis context: the [@lint.allow] scope stack, the
+   sanctioned-range set (parent nodes vouching for children, e.g. a fold
+   feeding a sort), the findings accumulator and the per-rule
+   attribute-suppression tally that feeds the report's summary table.
+
+   The rule modules (Lint_taint, Lint_domain) and the engine all report
+   through [report], so suppression and zone scoping behave identically
+   for every rule. *)
+
+type ctx = {
+  path : string;  (** repo-relative logical path: rule scoping + reporting *)
+  mutable allow_stack : string list list;
+  mutable file_allows : string list;
+  mutable sanctioned : (string * int * int) list;  (** rule, cnum range *)
+  mutable toplevel : string;  (** enclosing structure-level binding name *)
+  mutable findings : Finding.t list;
+  mutable suppressed : (string * int) list;  (** rule -> allow-attr hits *)
+}
+
+let create path =
+  {
+    path;
+    allow_stack = [];
+    file_allows = [];
+    sanctioned = [];
+    toplevel = "";
+    findings = [];
+    suppressed = [];
+  }
+
+let line_col (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+
+let allowed ctx rule =
+  List.exists (List.exists (String.equal rule)) ctx.allow_stack
+  || List.exists (String.equal rule) ctx.file_allows
+
+let sanctioned ctx rule (loc : Location.t) =
+  List.exists
+    (fun (r, s, e) ->
+      String.equal r rule
+      && s <= loc.loc_start.pos_cnum
+      && loc.loc_end.pos_cnum <= e)
+    ctx.sanctioned
+
+let sanction ctx rule (loc : Location.t) =
+  ctx.sanctioned <-
+    (rule, loc.loc_start.pos_cnum, loc.loc_end.pos_cnum) :: ctx.sanctioned
+
+let count_suppressed ctx rule =
+  let n =
+    match List.assoc_opt rule ctx.suppressed with Some n -> n | None -> 0
+  in
+  ctx.suppressed <- (rule, n + 1) :: List.remove_assoc rule ctx.suppressed
+
+let report ctx ~rule ~loc msg =
+  if Lint_rules.active_for ctx.path rule && not (sanctioned ctx rule loc) then
+    if allowed ctx rule then count_suppressed ctx rule
+    else begin
+      let line, col = line_col loc in
+      ctx.findings <-
+        Finding.make ~rule ~file:ctx.path ~line ~col msg :: ctx.findings
+    end
+
+(* ---- attribute handling ---- *)
+
+let allow_rules_of_attrs (attrs : Parsetree.attributes) =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if String.equal a.attr_name.Location.txt "lint.allow" then
+        match a.attr_payload with
+        | Parsetree.PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ( {
+                        pexp_desc =
+                          Pexp_constant (Pconst_string (s, _, _));
+                        _;
+                      },
+                      _ );
+                _;
+              };
+            ] ->
+            String.split_on_char ' ' s
+            |> List.concat_map (String.split_on_char ',')
+            |> List.filter (fun r -> not (String.equal r ""))
+        | _ -> []
+      else [])
+    attrs

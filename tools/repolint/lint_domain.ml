@@ -1,0 +1,129 @@
+(* R7 — domain safety.
+
+   PR 9's serving layer is coordinator-sequential: worker domains may
+   only touch [Atomic.t] (the work-stealing cursor), and every other
+   mutation happens on the coordinator before the fan-out or after the
+   join.  That discipline is audited by the bit-identical 1/2/8-domain
+   replay tests but nothing stops a new [Domain.spawn] from quietly
+   capturing a [ref] — which is exactly the silent race this rule
+   exists to catch.
+
+   Two checks fire at each [Domain.spawn] application:
+
+   - region: the spawn must sit inside an allowlisted (file, top-level
+     binding) fan-out region ([Lint_rules.r7_spawn_allowlist]); any
+     other spawn is flagged regardless of what it captures.
+   - captures: outside an allowlisted region, the spawned closure's free
+     variables are computed exactly (stamped idents used minus idents
+     bound within the closure) and every capture whose type is nominally
+     mutable — and not [Atomic.t] — is flagged at its use site.  Calls
+     to locally-defined functions are followed through the per-file
+     definition table, so mutation hidden one call deep
+     ([Domain.spawn (fun () -> bump ())] where [bump] increments a
+     captured ref) is still caught. *)
+
+open Typedtree
+
+type defs = (string, expression) Hashtbl.t
+(* Ident.unique_name -> binding RHS, for the transitive descent. *)
+
+let defs_create () : defs = Hashtbl.create 32
+
+let record_def (defs : defs) (vb : value_binding) =
+  match pat_bound_idents vb.vb_pat with
+  | [ id ] -> Hashtbl.replace defs (Ident.unique_name id) vb.vb_expr
+  | _ -> ()
+
+(* Free uses of [e]: every [Texp_ident (Pident _)] whose stamp is not
+   bound by any pattern inside [e].  Stamps make this exact — shadowing
+   cannot confuse an outer capture with an inner binding. *)
+let free_uses (e : expression) =
+  let bound : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let uses = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self x ->
+          (match x.exp_desc with
+          | Texp_ident (Path.Pident id, _, _) ->
+              uses := (id, x.exp_type, x.exp_loc) :: !uses
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self x);
+      pat =
+        (fun (type k) self (p : k general_pattern) ->
+          List.iter
+            (fun id -> Hashtbl.replace bound (Ident.unique_name id) ())
+            (pat_bound_idents p);
+          Tast_iterator.default_iterator.pat self p);
+    }
+  in
+  it.expr it e;
+  List.filter
+    (fun (id, _, _) -> not (Hashtbl.mem bound (Ident.unique_name id)))
+    (List.rev !uses)
+
+let is_arrow ty =
+  match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+
+let type_to_string ty = Format.asprintf "%a" Printtyp.type_expr ty
+
+(* Flag mutable non-atomic captures of [closure]; [via] names the local
+   call chain when the capture is reached transitively. *)
+let rec check_captures ctx (defs : defs) ~visited ~via (closure : expression) =
+  let reported : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (id, ty, loc) ->
+      let uname = Ident.unique_name id in
+      match Lint_rules.r7_type_class ty with
+      | `Atomic -> ()
+      | `Mutable ->
+          if not (Hashtbl.mem reported uname) then begin
+            Hashtbl.replace reported uname ();
+            let via_s =
+              match via with
+              | [] -> ""
+              | chain -> " via " ^ String.concat " -> " chain
+            in
+            Lint_ctx.report ctx ~rule:"R7" ~loc
+              (Printf.sprintf
+                 "non-atomic mutable state '%s' (%s) captured by a \
+                  Domain.spawn closure%s; worker domains may only touch \
+                  Atomic.t — keep this mutation coordinator-side or make \
+                  it atomic"
+                 (Ident.name id) (type_to_string ty) via_s)
+          end
+      | `Immutable ->
+          (* a captured local function can hide the mutation one call
+             deep — follow its definition *)
+          if is_arrow ty && not (Hashtbl.mem visited uname) then begin
+            Hashtbl.replace visited uname ();
+            match Hashtbl.find_opt defs uname with
+            | Some rhs ->
+                check_captures ctx defs ~visited
+                  ~via:(via @ [ Ident.name id ])
+                  rhs
+            | None -> ()
+          end)
+    (free_uses closure)
+
+let check_spawn ctx (defs : defs) ~(args : (Asttypes.arg_label * expression option) list)
+    ~(loc : Location.t) =
+  if not (Lint_rules.r7_spawn_allowed ~path:ctx.Lint_ctx.path ~toplevel:ctx.Lint_ctx.toplevel)
+  then begin
+    Lint_ctx.report ctx ~rule:"R7" ~loc
+      (Printf.sprintf
+         "Domain.spawn outside an allowlisted fan-out region (enclosing \
+          binding '%s'); parallel fan-out must go through an audited \
+          region backed by replay-determinism tests — see \
+          Lint_rules.r7_spawn_allowlist"
+         (if String.equal ctx.Lint_ctx.toplevel "" then "<module init>"
+          else ctx.Lint_ctx.toplevel));
+    List.iter
+      (fun (_, a) ->
+        match a with
+        | Some closure ->
+            check_captures ctx defs ~visited:(Hashtbl.create 8) ~via:[] closure
+        | None -> ())
+      args
+  end

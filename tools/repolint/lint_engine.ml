@@ -1,247 +1,288 @@
-(* Parsetree traversal wiring the rules to source files.
+(* Typedtree traversal wiring the rules to compilation units.
 
-   The engine walks each compilation unit with an [Ast_iterator] carrying
-   mutable context: a stack of [@lint.allow "Rn"] scopes (expression and
-   let-binding attributes, plus file-wide [@@@lint.allow]), and a set of
-   "sanctioned" source ranges recorded by parent nodes before descending —
-   e.g. the left-hand side of [Hashtbl.fold ... |> List.sort] is sanctioned
-   for R2, and a [compare] applied to literals only is sanctioned for R3.
-   Parents are visited before children, so sanctions are always registered
-   before the identifiers they cover are checked. *)
+   The engine consumes dune-produced .cmt files (Cmt_format) and walks
+   the embedded typedtree with a [Tast_iterator], so every identifier is
+   a *resolved* [Path.t] (aliases and [open]s cannot hide [List.hd]) and
+   every expression carries its instantiated type (R3 checks the actual
+   comparator instantiation; R7 classifies captured state nominally).
 
-open Parsetree
+   Two passes per run:
 
-type ctx = {
-  path : string; (* repo-relative, used for rule scoping and reporting *)
-  mutable allow_stack : string list list;
-  mutable file_allows : string list;
-  mutable sanctioned : (string * int * int) list; (* rule, cnum range *)
-  mutable findings : Finding.t list;
-}
+   - [summarize] (pass 1, all files): records cross-module taint
+     summaries for top-level bindings (Lint_taint).
+   - [lint_cmt] (pass 2, per file): runs R1-R7.  The traversal carries a
+     [Lint_ctx.ctx]: a stack of [@lint.allow "Rn"] scopes (expression
+     and let-binding attributes, plus file-wide [@@@lint.allow]), and a
+     set of "sanctioned" source ranges recorded by parent nodes before
+     descending — e.g. the left-hand side of
+     [Hashtbl.fold ... |> List.sort] is sanctioned for R2, and an
+     equality with a ground-literal operand is sanctioned for R3.
+     Parents are visited before children, so sanctions are always
+     registered before the identifiers they cover are checked.
 
-let line_col (loc : Location.t) =
-  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+   Version portability: CI builds this against both OCaml 5.1 and 5.2,
+   whose typedtrees differ (notably [Texp_function]).  The engine only
+   matches constructors stable across both and falls back to
+   [Typedtree.pat_bound_idents] plus the default iterator for everything
+   else — never destructure [Texp_function] payloads here. *)
 
-let allowed ctx rule =
-  List.exists (List.exists (String.equal rule)) ctx.allow_stack
-  || List.exists (String.equal rule) ctx.file_allows
+open Typedtree
 
-let sanctioned ctx rule (loc : Location.t) =
-  List.exists
-    (fun (r, s, e) ->
-      String.equal r rule && s <= loc.loc_start.pos_cnum
-      && loc.loc_end.pos_cnum <= e)
-    ctx.sanctioned
-
-let sanction ctx rule (loc : Location.t) =
-  ctx.sanctioned <-
-    (rule, loc.loc_start.pos_cnum, loc.loc_end.pos_cnum) :: ctx.sanctioned
-
-let report ctx ~rule ~loc msg =
-  if
-    Lint_rules.active_for ctx.path rule
-    && (not (allowed ctx rule))
-    && not (sanctioned ctx rule loc)
-  then begin
-    let line, col = line_col loc in
-    ctx.findings <-
-      Finding.make ~rule ~file:ctx.path ~line ~col msg :: ctx.findings
-  end
-
-(* ---- attribute handling ---- *)
-
-let allow_rules_of_attrs attrs =
-  List.concat_map
-    (fun a ->
-      if String.equal a.attr_name.Location.txt "lint.allow" then
-        match a.attr_payload with
-        | PStr
-            [
-              {
-                pstr_desc =
-                  Pstr_eval
-                    ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
-                      _ );
-                _;
-              };
-            ] ->
-            String.split_on_char ' ' s
-            |> List.concat_map (String.split_on_char ',')
-            |> List.filter (fun r -> not (String.equal r ""))
-        | _ -> []
-      else [])
-    attrs
+type result = { findings : Finding.t list; suppressed : (string * int) list }
 
 (* ---- expression shape predicates ---- *)
 
-let ident_of e =
-  match e.pexp_desc with
-  | Pexp_ident { txt; loc } -> Some (String.concat "." (Longident.flatten txt), loc)
+let ident_path (e : expression) =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some p | _ -> None
+
+(* Ground values: constants and constructors/tuples of ground values.
+   Comparing against one is deterministic whatever the type. *)
+let rec ground (e : expression) =
+  match e.exp_desc with
+  | Texp_constant _ -> true
+  | Texp_construct (_, _, args) -> List.for_all ground args
+  | Texp_variant (_, eo) -> ( match eo with None -> true | Some a -> ground a)
+  | Texp_tuple es -> List.for_all ground es
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, [ (_, Some a) ])
+    when Lint_rules.path_matches [ "~-"; "~-." ] p ->
+      ground a
+  | _ -> false
+
+(* The typer rewrites [x |> f y] and [f y @@ x] into nested direct
+   applications — [(f y) x] — so pipes never survive into the typedtree.
+   The head ident of a (possibly curried) application chain is the real
+   callee. *)
+let rec head_path (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some p
+  | Texp_apply (fn, _) -> head_path fn
   | _ -> None
 
-let rec literal_like e =
-  match e.pexp_desc with
-  | Pexp_constant _ -> true
-  | Pexp_construct (_, None) -> true (* (), [], None, true, nullary ctors *)
-  | Pexp_variant (_, None) -> true
-  | Pexp_constraint (_, _) -> true (* type ascription = type is known *)
-  | Pexp_apply
-      ({ pexp_desc = Pexp_ident { txt = Longident.Lident ("~-" | "~-." | "-" | "-."); _ }; _ },
-        [ (_, arg) ]) ->
-      literal_like arg
-  | _ -> false
+let sort_sinkish (e : expression) =
+  match head_path e with Some p -> Lint_rules.sort_sink p | None -> false
 
-let structural e =
-  match e.pexp_desc with
-  | Pexp_tuple _ | Pexp_record _ | Pexp_array _
-  | Pexp_construct (_, Some _)
-  | Pexp_variant (_, Some _) ->
-      true
-  | _ -> false
+let first_arrow_arg ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, a, _, _) -> Some a
+  | _ -> None
 
-let sort_sinkish e =
-  match e.pexp_desc with
-  | Pexp_ident _ -> (
-      match ident_of e with
-      | Some (n, _) -> Lint_rules.sort_sink n
-      | None -> false)
-  | Pexp_apply (fn, _) -> (
-      match ident_of fn with
-      | Some (n, _) -> Lint_rules.sort_sink n
-      | None -> false)
-  | _ -> false
+let type_to_string ty = Format.asprintf "%a" Printtyp.type_expr ty
 
 (* ---- per-node checks ---- *)
 
-let check_ident ctx name loc =
-  if Lint_rules.r1_forbidden name then
-    report ctx ~rule:"R1" ~loc
+let check_ident ctx (p : Path.t) (e : expression) =
+  let loc = e.exp_loc in
+  let name p =
+    match Lint_rules.candidates p with n :: _ -> n | [] -> Path.name p
+  in
+  if Lint_rules.r1_always_forbidden p then
+    Lint_ctx.report ctx ~rule:"R1" ~loc
       (Printf.sprintf
          "non-deterministic primitive %s; thread a Rng.t (lib/rng) or use \
-          Obs.Trace.now" name);
-  if Lint_rules.r2_forbidden name then
-    report ctx ~rule:"R2" ~loc
+          Obs.Trace.now"
+         (name p))
+  else if
+    Lint_rules.r1_random p
+    && not
+         (Lint_rules.r1_seeded_state p
+         && Lint_rules.r1_seeded_state_ok ctx.Lint_ctx.path)
+  then
+    Lint_ctx.report ctx ~rule:"R1" ~loc
+      (Printf.sprintf
+         "ambient global-state randomness %s; thread a Rng.t (lib/rng), or \
+          in test/ an explicitly seeded Random.State"
+         (name p));
+  if Lint_rules.r2_forbidden p then
+    Lint_ctx.report ctx ~rule:"R2" ~loc
       (Printf.sprintf
          "%s leaks hash-order; sort the result or mark the site with \
-          [@lint.allow \"R2\"]" name);
-  if Lint_rules.r3_comparator name then
-    report ctx ~rule:"R3" ~loc
-      (Printf.sprintf
-         "polymorphic %s; use Int.compare/Float.compare/typed min-max" name);
-  if Lint_rules.r4_forbidden name then
-    report ctx ~rule:"R4" ~loc
+          [@lint.allow \"R2\"]"
+         (name p));
+  if Lint_rules.r3_comparator p || Lint_rules.r3_equality p then begin
+    match first_arrow_arg e.exp_type with
+    | Some arg when Lint_rules.safe_structure arg -> ()
+    | arg ->
+        let shown =
+          match arg with Some a -> type_to_string a | None -> "_"
+        in
+        Lint_ctx.report ctx ~rule:"R3" ~loc
+          (Printf.sprintf
+             "polymorphic %s instantiated at non-scalar type %s; use a \
+              typed comparator (Int.compare, Float.equal, a record \
+              comparator) or compare a scalar key"
+             (name p) shown)
+  end;
+  if Lint_rules.r4_forbidden p then
+    Lint_ctx.report ctx ~rule:"R4" ~loc
       (Printf.sprintf
          "partial accessor %s in a planner path; use the _opt variant or a \
-          match that names the missing node/variable" name);
-  if Lint_rules.r5_forbidden name then
-    report ctx ~rule:"R5" ~loc
+          match that names the missing node/variable"
+         (name p));
+  if Lint_rules.r5_forbidden p then
+    Lint_ctx.report ctx ~rule:"R5" ~loc
       (Printf.sprintf
          "stdout printing (%s) in lib/; take a Format.formatter argument \
-          instead" name)
+          instead"
+         (name p))
 
-let check_apply ctx fn args =
-  (match ident_of fn with
-  | Some (name, floc) -> (
-      let name = Lint_rules.strip_stdlib name in
-      (match (name, args) with
+let check_apply ctx taint env defs (fn : expression)
+    (args : (Asttypes.arg_label * expression option) list) =
+  (* curried continuation of a sort-sink application: the argument being
+     sorted (e.g. the fold output piped in) is order-safe *)
+  if ident_path fn = None && sort_sinkish fn then
+    List.iter
+      (fun (_, a) ->
+        match a with
+        | Some a -> Lint_ctx.sanction ctx "R2" a.exp_loc
+        | None -> ())
+      args;
+  match ident_path fn with
+  | None -> ()
+  | Some p ->
+      (match (Lint_rules.candidates p, args) with
       (* [fold ... |> List.sort ...] and [List.sort ... @@ fold ...] are
          order-safe: the sink re-establishes a canonical order. *)
-      | "|>", [ (_, lhs); (_, rhs) ] when sort_sinkish rhs ->
-          sanction ctx "R2" lhs.pexp_loc
-      | "@@", [ (_, lhs); (_, rhs) ] when sort_sinkish lhs ->
-          sanction ctx "R2" rhs.pexp_loc
-      | _ when Lint_rules.sort_sink name ->
-          List.iter (fun (_, a) -> sanction ctx "R2" a.pexp_loc) args
+      | [ "|>" ], [ (_, Some lhs); (_, Some rhs) ] when sort_sinkish rhs ->
+          Lint_ctx.sanction ctx "R2" lhs.exp_loc
+      | [ "@@" ], [ (_, Some lhs); (_, Some rhs) ] when sort_sinkish lhs ->
+          Lint_ctx.sanction ctx "R2" rhs.exp_loc
+      | _ when Lint_rules.sort_sink p ->
+          List.iter
+            (fun (_, a) ->
+              match a with
+              | Some a -> Lint_ctx.sanction ctx "R2" a.exp_loc
+              | None -> ())
+            args
       | _ -> ());
-      (* compare/min/max applied to literals only is harmless. *)
+      let arg_exprs = List.filter_map (fun (_, a) -> a) args in
+      (* compare/min/max applied to ground values only is harmless, as is
+         =/<> against a ground literal (the dominant test-assert shape). *)
       if
-        Lint_rules.r3_comparator name && args <> []
-        && List.for_all (fun (_, a) -> literal_like a) args
-      then sanction ctx "R3" floc;
-      (* =/<> on a syntactic structure is a guaranteed polymorphic
-         structural comparison. *)
-      match (name, args) with
-      | ("=" | "<>"), [ (_, a); (_, b) ] ->
-          if
-            (structural a || structural b)
-            && not (literal_like a || literal_like b)
-          then
-            report ctx ~rule:"R3" ~loc:floc
-              "polymorphic =/<> on a structural value (tuple, record or \
-               constructor); compare fields with explicit comparators"
-      | _ -> ())
-  | None -> ())
+        Lint_rules.r3_comparator p
+        && arg_exprs <> []
+        && List.for_all ground arg_exprs
+      then Lint_ctx.sanction ctx "R3" fn.exp_loc;
+      if Lint_rules.r3_equality p && List.exists ground arg_exprs then
+        Lint_ctx.sanction ctx "R3" fn.exp_loc;
+      Lint_taint.check_sink_apply taint ctx env p args fn.exp_loc;
+      if Lint_rules.r7_spawn p then
+        Lint_domain.check_spawn ctx defs ~args ~loc:fn.exp_loc
 
 (* ---- the iterator ---- *)
 
-let make_iterator ctx =
-  let super = Ast_iterator.default_iterator in
+let toplevel_name (vb : value_binding) =
+  match pat_bound_idents vb.vb_pat with
+  | id :: _ -> Ident.name id
+  | [] -> ""
+
+let make_iterator (ctx : Lint_ctx.ctx) taint env defs =
+  let super = Tast_iterator.default_iterator in
   let expr self e =
-    let allows = allow_rules_of_attrs e.pexp_attributes in
+    let allows =
+      Lint_ctx.allow_rules_of_attrs e.exp_attributes
+      @ List.concat_map
+          (fun (_, _, attrs) -> Lint_ctx.allow_rules_of_attrs attrs)
+          e.exp_extra
+    in
     ctx.allow_stack <- allows :: ctx.allow_stack;
-    (match e.pexp_desc with
-    | Pexp_apply (fn, args) -> check_apply ctx fn args
+    (match e.exp_desc with
+    | Texp_ident (p, _, _) -> check_ident ctx p e
+    | Texp_apply (fn, args) -> check_apply ctx taint env defs fn args
+    | Texp_match (scrut, cases, _) ->
+        (* bind case variables of a tainted scrutinee before the rhs is
+           traversed and its sinks checked *)
+        let ts = Lint_taint.taint_of taint ctx env scrut in
+        if ts <> [] then
+          List.iter
+            (fun c -> Lint_taint.bind_pattern taint ctx env c.c_lhs ts)
+            cases
+    | Texp_record _ -> Lint_taint.check_sink_record taint ctx env e
     | _ -> ());
-    (match ident_of e with
-    | Some (name, loc) -> check_ident ctx name loc
-    | None -> ());
     super.expr self e;
     ctx.allow_stack <- List.tl ctx.allow_stack
   in
   let value_binding self vb =
-    let allows = allow_rules_of_attrs vb.pvb_attributes in
+    let allows = Lint_ctx.allow_rules_of_attrs vb.vb_attributes in
     ctx.allow_stack <- allows :: ctx.allow_stack;
+    Lint_domain.record_def defs vb;
+    Lint_taint.record_vb taint ctx env vb;
     super.value_binding self vb;
     ctx.allow_stack <- List.tl ctx.allow_stack
   in
   let structure_item self it =
-    (match it.pstr_desc with
-    | Pstr_attribute a ->
-        ctx.file_allows <- allow_rules_of_attrs [ a ] @ ctx.file_allows
-    | _ -> ());
-    super.structure_item self it
+    match it.str_desc with
+    | Tstr_value (_, vbs) ->
+        (* track the enclosing top-level binding for the R7 allowlist *)
+        List.iter
+          (fun vb ->
+            ctx.toplevel <- toplevel_name vb;
+            self.Tast_iterator.value_binding self vb)
+          vbs;
+        ctx.toplevel <- ""
+    | Tstr_attribute a ->
+        ctx.file_allows <-
+          Lint_ctx.allow_rules_of_attrs [ a ] @ ctx.file_allows;
+        super.structure_item self it
+    | _ -> super.structure_item self it
   in
-  { super with expr; value_binding; structure_item }
+  let signature_item self it =
+    (match it.sig_desc with
+    | Tsig_attribute a ->
+        ctx.file_allows <- Lint_ctx.allow_rules_of_attrs [ a ] @ ctx.file_allows
+    | _ -> ());
+    super.signature_item self it
+  in
+  { super with expr; value_binding; structure_item; signature_item }
 
 (* ---- entry points ---- *)
 
-let parse_findings ctx exn =
-  (* Parse/lex errors become findings so an unreadable file cannot pass. *)
-  let loc =
-    match exn with
-    | Syntaxerr.Error e -> Some (Syntaxerr.location_of_error e)
-    | Lexer.Error (_, loc) -> Some loc
-    | _ -> None
-  in
-  let line, col = match loc with Some l -> line_col l | None -> (1, 0) in
-  ctx.findings <-
-    Finding.make ~rule:"PARSE" ~file:ctx.path ~line ~col
-      (Printf.sprintf "cannot parse: %s" (Printexc.to_string exn))
-    :: ctx.findings
+(* PARSE is the pseudo-rule for files the engine cannot analyse: an
+   unreadable or typedtree-less .cmt, or a source with no .cmt at all
+   (it does not compile, or the build is stale).  Such files must not
+   silently pass. *)
+let analysis_failure ~path reason =
+  {
+    findings = [ Finding.make ~rule:"PARSE" ~file:path ~line:1 ~col:0 reason ];
+    suppressed = [];
+  }
 
-let lint_source ~path source =
-  let ctx =
-    { path; allow_stack = []; file_allows = []; sanctioned = []; findings = [] }
-  in
-  let lexbuf = Lexing.from_string source in
-  Location.init lexbuf path;
-  let iter = make_iterator ctx in
-  (try
-     if Filename.check_suffix path ".mli" then
-       iter.signature iter (Parse.interface lexbuf)
-     else iter.structure iter (Parse.implementation lexbuf)
-   with exn -> parse_findings ctx exn);
-  List.sort Finding.compare ctx.findings
+let lint_annots ~taint ~path (annots : Cmt_format.binary_annots) : result =
+  let ctx = Lint_ctx.create path in
+  let env = Lint_taint.env_create () in
+  let defs = Lint_domain.defs_create () in
+  let iter = make_iterator ctx taint env defs in
+  match annots with
+  | Cmt_format.Implementation str ->
+      iter.structure iter str;
+      {
+        findings = List.sort Finding.compare ctx.findings;
+        suppressed = ctx.suppressed;
+      }
+  | Cmt_format.Interface sg ->
+      iter.signature iter sg;
+      {
+        findings = List.sort Finding.compare ctx.findings;
+        suppressed = ctx.suppressed;
+      }
+  | _ ->
+      analysis_failure ~path "typedtree unavailable (partial or packed .cmt)"
 
-let read_file file =
-  let ic = open_in_bin file in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+(* [path] is the repo-relative logical path (rule scoping + reporting);
+   [cmt_path] is where the typedtree lives.  Tests pair fixture .cmt
+   files with synthetic logical paths. *)
+let lint_cmt ~taint ~path cmt_path : result =
+  match Cmt_index.read cmt_path with
+  | Some entry -> lint_annots ~taint ~path entry.Cmt_index.annots
+  | None -> analysis_failure ~path ("unreadable .cmt: " ^ cmt_path)
 
-(* [path] is the repo-relative logical path (rule scoping); [file] is
-   where to read the bytes.  They coincide for normal runs; tests use a
-   fixture file with a synthetic logical path. *)
-let lint_file ?file path =
-  let file = match file with Some f -> f | None -> path in
-  lint_source ~path (read_file file)
+let missing_cmt ~path : result =
+  analysis_failure ~path
+    "no typedtree (.cmt) found under the build root; the file does not \
+     compile or the build is stale — run the build first (make lint does)"
+
+(* Pass 1: record cross-module taint summaries for one file. *)
+let summarize ~taint ~path cmt_path =
+  match Cmt_index.read cmt_path with
+  | Some { Cmt_index.annots = Cmt_format.Implementation str; modname; _ } ->
+      Lint_taint.summarize taint (Lint_ctx.create path) ~modname str
+  | _ -> ()

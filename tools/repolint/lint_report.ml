@@ -1,10 +1,11 @@
-(* Human and JSON rendering of a lint run. *)
+(* Human and JSON rendering of a lint run (schema repolint/2). *)
 
 type run = {
   files_scanned : int;
   fresh : Finding.t list; (* findings that fail the run *)
   baselined : Finding.t list; (* accepted legacy findings *)
   stale_baseline : string list; (* baseline entries matching nothing *)
+  suppressed : (string * int) list; (* rule -> [@lint.allow] hits *)
 }
 
 let count_by_rule findings =
@@ -17,6 +18,17 @@ let count_by_rule findings =
     [] findings
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let assoc0 k l = match List.assoc_opt k l with Some n -> n | None -> 0
+
+(* Every rule with at least one fresh, baselined or allowed hit. *)
+let rules_in_play run =
+  let fresh = count_by_rule run.fresh in
+  let baselined = count_by_rule run.baselined in
+  List.map fst fresh @ List.map fst baselined @ List.map fst run.suppressed
+  |> List.sort_uniq String.compare
+  |> List.map (fun r ->
+         (r, assoc0 r fresh, assoc0 r baselined, assoc0 r run.suppressed))
+
 let print_human ppf run =
   List.iter
     (fun f -> Format.fprintf ppf "%s@." (Finding.to_string f))
@@ -27,8 +39,8 @@ let print_human ppf run =
   List.iter
     (fun e -> Format.fprintf ppf "stale baseline entry: %s@." e)
     run.stale_baseline;
-  let by_rule = count_by_rule (run.fresh @ run.baselined) in
-  Format.fprintf ppf "repolint: %d file%s scanned, %d finding%s (%d fresh, %d baselined%s)@."
+  Format.fprintf ppf
+    "repolint: %d file%s scanned, %d finding%s (%d fresh, %d baselined%s)@."
     run.files_scanned
     (if run.files_scanned = 1 then "" else "s")
     (List.length run.fresh + List.length run.baselined)
@@ -37,11 +49,16 @@ let print_human ppf run =
     (match run.stale_baseline with
     | [] -> ""
     | l -> Printf.sprintf ", %d stale baseline" (List.length l));
-  if by_rule <> [] then begin
-    Format.fprintf ppf "by rule:";
-    List.iter (fun (r, n) -> Format.fprintf ppf " %s=%d" r n) by_rule;
-    Format.fprintf ppf "@."
-  end
+  (* Per-rule summary table: attribute suppressions are first-class so a
+     creeping pile of [@lint.allow] is visible in every run. *)
+  match rules_in_play run with
+  | [] -> ()
+  | rows ->
+      Format.fprintf ppf "rule   fresh  baselined  allowed@.";
+      List.iter
+        (fun (r, fr, b, a) ->
+          Format.fprintf ppf "%-5s  %5d  %9d  %7d@." r fr b a)
+        rows
 
 let to_json run =
   let findings =
@@ -50,7 +67,7 @@ let to_json run =
   in
   Obs.Json.Obj
     [
-      ("schema", Obs.Json.Str "repolint/1");
+      ("schema", Obs.Json.Str "repolint/2");
       ("files_scanned", Obs.Json.Num (float_of_int run.files_scanned));
       ("findings", Obs.Json.List findings);
       ( "summary",
@@ -59,11 +76,23 @@ let to_json run =
             ("fresh", Obs.Json.Num (float_of_int (List.length run.fresh)));
             ( "baselined",
               Obs.Json.Num (float_of_int (List.length run.baselined)) );
+            ( "suppressed",
+              Obs.Json.Num
+                (float_of_int
+                   (List.fold_left (fun s (_, n) -> s + n) 0 run.suppressed))
+            );
             ( "by_rule",
               Obs.Json.Obj
                 (List.map
-                   (fun (r, n) -> (r, Obs.Json.Num (float_of_int n)))
-                   (count_by_rule (run.fresh @ run.baselined))) );
+                   (fun (r, fr, b, a) ->
+                     ( r,
+                       Obs.Json.Obj
+                         [
+                           ("fresh", Obs.Json.Num (float_of_int fr));
+                           ("baselined", Obs.Json.Num (float_of_int b));
+                           ("allowed", Obs.Json.Num (float_of_int a));
+                         ] ))
+                   (rules_in_play run)) );
             ( "stale_baseline",
               Obs.Json.List
                 (List.map (fun e -> Obs.Json.Str e) run.stale_baseline) );

@@ -1,16 +1,25 @@
-(* repolint: AST-level invariant checker for determinism, float-safety and
-   partiality.  See DESIGN.md "Static analysis" for the rule table.
+(* repolint: typed invariant checker for determinism, certification taint
+   and domain safety.  See DESIGN.md "Static analysis" for the rule table.
 
    Usage:
-     repolint [--baseline FILE] [--json FILE] [--rules] [DIR|FILE ...]
+     repolint [--baseline FILE] [--json FILE] [--build-dir DIR]
+              [--write-baseline] [--rules] [DIR|FILE ...]
 
-   Directories default to lib bin bench tools, scanned recursively for
-   .ml/.mli in sorted order.  Exit status is 0 iff every finding is
-   covered by the baseline file. *)
+   Directories default to lib bin bench tools examples test, scanned
+   recursively for .ml/.mli in sorted order (test/lint/fixtures is the
+   lint test corpus — deliberate violations — and is skipped).  The
+   engine reads dune-produced .cmt typedtrees from --build-dir
+   (default _build/default), so the tree must be built first; a source
+   with no typedtree is a PARSE finding, not a silent skip.
+
+   Exit status: 0 clean, 1 fresh findings, 2 usage error, 3 stale
+   baseline entries (a hard failure so the baseline shrinks instead of
+   rotting; regenerate with `make lint-baseline`). *)
 
 open Repolint_lib
 
-let default_dirs = [ "lib"; "bin"; "bench"; "tools" ]
+let default_dirs = [ "lib"; "bin"; "bench"; "tools"; "examples"; "test" ]
+let default_build_dir = "_build/default"
 
 let normalize path =
   let path =
@@ -24,6 +33,14 @@ let skip_dir name =
   String.equal name "_build" || String.equal name "_opam"
   || (String.length name > 0 && name.[0] = '.')
 
+let under prefix path =
+  String.length path >= String.length prefix
+  && String.equal (String.sub path 0 (String.length prefix)) prefix
+
+(* The lint fixture corpus is linted by test/lint with synthetic logical
+   paths; in a repo scan its deliberate violations would be noise. *)
+let skip_path path = under "test/lint/fixtures/" path
+
 let rec walk path acc =
   if Sys.is_directory path then
     Sys.readdir path |> Array.to_list
@@ -34,13 +51,15 @@ let rec walk path acc =
            else walk (Filename.concat path entry) acc)
          acc
   else if
-    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+    (Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli")
+    && not (skip_path (normalize path))
   then normalize path :: acc
   else acc
 
 let usage () =
   prerr_endline
-    "usage: repolint [--baseline FILE] [--json FILE] [--rules] [DIR|FILE ...]";
+    "usage: repolint [--baseline FILE] [--json FILE] [--build-dir DIR]\n\
+    \                [--write-baseline] [--rules] [DIR|FILE ...]";
   exit 2
 
 let print_rules () =
@@ -50,9 +69,18 @@ let print_rules () =
         r.Lint_rules.description)
     Lint_rules.all
 
+let merge_suppressed acc sup =
+  List.fold_left
+    (fun acc (rule, n) ->
+      let m = match List.assoc_opt rule acc with Some m -> m | None -> 0 in
+      (rule, m + n) :: List.remove_assoc rule acc)
+    acc sup
+
 let () =
   let baseline_file = ref "lint_baseline.txt" in
   let json_file = ref "" in
+  let build_dir = ref default_build_dir in
+  let write_baseline = ref false in
   let dirs = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -61,6 +89,12 @@ let () =
         parse_args rest
     | "--json" :: f :: rest ->
         json_file := f;
+        parse_args rest
+    | "--build-dir" :: d :: rest ->
+        build_dir := d;
+        parse_args rest
+    | "--write-baseline" :: rest ->
+        write_baseline := true;
         parse_args rest
     | "--rules" :: _ ->
         print_rules ();
@@ -84,22 +118,56 @@ let () =
       [] dirs
     |> List.sort_uniq String.compare
   in
+  let index = Cmt_index.build ~roots:[ !build_dir ] in
+  let taint = Lint_taint.create () in
+  (* pass 1: cross-module taint summaries over every scanned file *)
+  List.iter
+    (fun src ->
+      match Cmt_index.lookup index src with
+      | Some cmt -> Lint_engine.summarize ~taint ~path:src cmt
+      | None -> ())
+    files;
+  (* pass 2: the rules *)
+  let results =
+    List.map
+      (fun src ->
+        match Cmt_index.lookup index src with
+        | Some cmt -> Lint_engine.lint_cmt ~taint ~path:src cmt
+        | None -> Lint_engine.missing_cmt ~path:src)
+      files
+  in
   let findings =
-    List.concat_map (fun f -> Lint_engine.lint_file f) files
+    List.concat_map (fun r -> r.Lint_engine.findings) results
     |> List.sort Finding.compare
   in
+  let suppressed =
+    List.fold_left
+      (fun acc r -> merge_suppressed acc r.Lint_engine.suppressed)
+      [] results
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  if !write_baseline then begin
+    Lint_baseline.write !baseline_file findings;
+    Printf.printf "repolint: wrote %d finding key%s to %s\n"
+      (List.length findings)
+      (if List.length findings = 1 then "" else "s")
+      !baseline_file;
+    exit 0
+  end;
   let baseline = Lint_baseline.load !baseline_file in
   let fresh, baselined =
     List.partition (fun f -> not (Lint_baseline.mem baseline f)) findings
   in
+  let stale = Lint_baseline.stale baseline findings in
   let run =
     {
       Lint_report.files_scanned = List.length files;
       fresh;
       baselined;
-      stale_baseline = Lint_baseline.stale baseline findings;
+      stale_baseline = stale;
+      suppressed;
     }
   in
   Lint_report.print_human Format.std_formatter run;
   if not (String.equal !json_file "") then Lint_report.write_json !json_file run;
-  exit (if fresh = [] then 0 else 1)
+  if fresh <> [] then exit 1 else if stale <> [] then exit 3 else exit 0
